@@ -1,0 +1,47 @@
+// Ablation A4: fairness across regimes (§3.3.3's starvation claim made
+// quantitative). For a short-range and a long-range network, sweep the
+// interferer distance and report the starved receiver fraction, Jain's
+// index, and the 10th-percentile receiver throughput under carrier sense
+// with the regime's own optimal threshold.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/fairness.hpp"
+#include "src/core/threshold.hpp"
+
+using namespace csense;
+
+int main() {
+    bench::print_header("Ablation A4 - fairness across regimes",
+                        "short range: no one starves at any D; long range: "
+                        "a small nearby fraction is smothered once "
+                        "concurrency engages inside the network");
+    const auto engine = bench::make_engine(0.0);
+    const std::size_t samples = bench::fast_mode() ? 8000 : 40000;
+
+    for (double rmax : {20.0, 120.0}) {
+        const auto thresh = core::optimal_threshold(engine, rmax);
+        std::printf("\n-- Rmax = %.0f (threshold %.1f, %s) --\n", rmax,
+                    thresh.d_thresh,
+                    thresh.d_thresh > 2.0 * rmax   ? "short range"
+                    : thresh.d_thresh < rmax       ? "long range"
+                                                   : "transition");
+        std::printf("%8s %10s %10s %10s %12s\n", "D", "mean", "p10", "Jain",
+                    "starved");
+        for (double factor : {0.5, 0.9, 1.05, 1.3, 2.0, 3.0}) {
+            const double d = thresh.d_thresh * factor;
+            const auto report = core::analyze_fairness(
+                engine, rmax, d, thresh.d_thresh, samples);
+            std::printf("%8.1f %10.4f %10.4f %10.3f %11.2f%%\n", d,
+                        report.mean, report.p10, report.jain_index,
+                        100.0 * report.starved_fraction);
+        }
+    }
+    std::printf("\nReading: in the short-range network the starved column "
+                "is ~0 everywhere - concurrency only runs with interferers "
+                "far outside. In the long-range network, D just beyond the "
+                "threshold (concurrency with the interferer *inside* the "
+                "network) starves a few percent of receivers: good average, "
+                "imperfect fairness - the thesis' long-range caveat.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the reproduction benches. Every bench binary prints
+// the paper artifact it regenerates (rows/series) and, where helpful, an
+// ASCII rendering. Setting CSENSE_FAST=1 shrinks run counts for quick
+// iteration; default settings aim at the fidelity of the thesis' plots.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/expected.hpp"
+
+namespace csense::bench {
+
+/// True when CSENSE_FAST=1: cut Monte Carlo and simulation budgets.
+inline bool fast_mode() {
+    const char* env = std::getenv("CSENSE_FAST");
+    return env != nullptr && env[0] == '1';
+}
+
+/// Engine with the thesis' default environment (alpha 3, N = -65 dB).
+inline core::expectation_engine make_engine(double sigma_db,
+                                            bool high_accuracy = false) {
+    core::model_params params;
+    params.alpha = 3.0;
+    params.sigma_db = sigma_db;
+    params.noise_db = -65.0;
+    core::quadrature_options quad;
+    core::mc_options mc;
+    if (fast_mode()) {
+        quad.radial_nodes = 24;
+        quad.angular_nodes = 32;
+        quad.shadow_nodes = 8;
+        mc.samples = 20000;
+    } else if (high_accuracy) {
+        quad.radial_nodes = 48;
+        quad.angular_nodes = 64;
+        quad.shadow_nodes = 16;
+        mc.samples = 400000;
+    } else {
+        quad.radial_nodes = 40;
+        quad.angular_nodes = 48;
+        quad.shadow_nodes = 12;
+        mc.samples = 150000;
+    }
+    return core::expectation_engine(params, quad, mc);
+}
+
+/// Print a standard header naming the reproduced artifact.
+inline void print_header(const char* artifact, const char* description) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n%s\n", artifact, description);
+    if (fast_mode()) std::printf("(CSENSE_FAST=1: reduced accuracy)\n");
+    std::printf("==============================================================\n");
+}
+
+}  // namespace csense::bench

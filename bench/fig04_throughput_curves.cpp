@@ -1,0 +1,49 @@
+// Figure 4: average MAC throughput versus inter-sender distance D for the
+// non-shadowing model (alpha = 3, P0/N0 = 65 dB), one panel per
+// Rmax in {20, 55, 120}; curves: multiplexing, concurrency, optimal.
+// Vertical axis normalized to the Rmax = 20, D = infinity throughput.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/report/ascii_plot.hpp"
+
+using namespace csense;
+
+int main() {
+    bench::print_header("Figure 4 - average MAC throughput curves (sigma = 0)",
+                        "normalized to Rmax = 20, D = inf; optimal converges "
+                        "to multiplexing at small D and concurrency at large D");
+    const auto engine = bench::make_engine(0.0);
+    const double unit = engine.normalization();
+
+    for (double rmax : {20.0, 55.0, 120.0}) {
+        const double mux = engine.expected_multiplexing(rmax) / unit;
+        report::series s_mux{"multiplexing", {}, {}, 'm'};
+        report::series s_conc{"concurrency", {}, {}, 'c'};
+        report::series s_opt{"optimal", {}, {}, 'o'};
+        std::printf("\n-- Rmax = %.0f --\n", rmax);
+        std::printf("%8s %14s %14s %14s\n", "D", "multiplexing", "concurrency",
+                    "optimal");
+        const double d_max = 3.0 * rmax;
+        const int points = bench::fast_mode() ? 12 : 24;
+        for (int i = 1; i <= points; ++i) {
+            const double d = d_max * i / points;
+            const double conc = engine.expected_concurrent(rmax, d) / unit;
+            const double opt = engine.expected_optimal(rmax, d).mean / unit;
+            std::printf("%8.1f %14.4f %14.4f %14.4f\n", d, mux, conc, opt);
+            s_mux.x.push_back(d);
+            s_mux.y.push_back(mux);
+            s_conc.x.push_back(d);
+            s_conc.y.push_back(conc);
+            s_opt.x.push_back(d);
+            s_opt.y.push_back(opt);
+        }
+        report::plot_options opts;
+        opts.x_label = "inter-sender distance D";
+        opts.y_label = "normalized throughput";
+        std::printf("%s", report::render_chart({s_mux, s_conc, s_opt},
+                                               opts).c_str());
+    }
+    return 0;
+}

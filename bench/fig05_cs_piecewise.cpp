@@ -1,0 +1,48 @@
+// Figure 5: the Rmax = 55 panel with carrier-sense throughput for a
+// chosen threshold highlighted - the piecewise multiplexing/concurrency
+// curve with the switch at D_thresh.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/threshold.hpp"
+#include "src/report/ascii_plot.hpp"
+
+using namespace csense;
+
+int main() {
+    bench::print_header("Figure 5 - carrier sense piecewise curve, Rmax = 55",
+                        "sigma = 0; CS follows multiplexing left of the "
+                        "threshold and concurrency right of it");
+    const auto engine = bench::make_engine(0.0);
+    const double unit = engine.normalization();
+    const double rmax = 55.0;
+    const auto thresh = core::optimal_threshold(engine, rmax);
+    std::printf("optimal threshold for Rmax = 55: D_thresh = %.1f "
+                "(crossing value %.4f normalized)\n",
+                thresh.d_thresh, thresh.crossing_value / unit);
+
+    const double mux = engine.expected_multiplexing(rmax) / unit;
+    report::series s_cs{"carrier sense", {}, {}, 'S'};
+    report::series s_opt{"optimal", {}, {}, 'o'};
+    std::printf("\n%8s %12s %12s %12s %12s\n", "D", "mux", "conc", "CS",
+                "optimal");
+    const int points = bench::fast_mode() ? 12 : 28;
+    for (int i = 1; i <= points; ++i) {
+        const double d = 3.0 * rmax * i / points;
+        const double conc = engine.expected_concurrent(rmax, d) / unit;
+        const double cs =
+            engine.expected_carrier_sense(rmax, d, thresh.d_thresh) / unit;
+        const double opt = engine.expected_optimal(rmax, d).mean / unit;
+        std::printf("%8.1f %12.4f %12.4f %12.4f %12.4f\n", d, mux, conc, cs,
+                    opt);
+        s_cs.x.push_back(d);
+        s_cs.y.push_back(cs);
+        s_opt.x.push_back(d);
+        s_opt.y.push_back(opt);
+    }
+    report::plot_options opts;
+    opts.x_label = "inter-sender distance D (threshold at the CS kink)";
+    opts.y_label = "normalized throughput";
+    std::printf("%s", report::render_chart({s_cs, s_opt}, opts).c_str());
+    return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: propagation pathways past a barrier - the §3.4 argument that
+// a carrier-sense signal cannot be confined: through-wall attenuation is
+// < 10 dB, reflections lose < 10 dB, and even pure knife-edge diffraction
+// around an opaque barrier at 5 m costs only ~30 dB at 2.4 GHz.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/propagation/diffraction.hpp"
+#include "src/propagation/units.hpp"
+
+using namespace csense;
+using namespace csense::propagation;
+
+int main() {
+    bench::print_header("Figure 8 - propagation pathways past a barrier",
+                        "why hidden-terminal configurations are hard to "
+                        "build: every leakage path, quantified");
+
+    std::printf("through-wall attenuation (COST 231-style):\n");
+    std::printf("  drywall          %5.1f dB\n",
+                wall_attenuation_db(wall_material::drywall));
+    std::printf("  interior wall    %5.1f dB   (paper: 'less than 10 dB')\n",
+                wall_attenuation_db(wall_material::interior_wall));
+    std::printf("  brick            %5.1f dB\n",
+                wall_attenuation_db(wall_material::brick));
+    std::printf("  concrete         %5.1f dB\n",
+                wall_attenuation_db(wall_material::concrete));
+    std::printf("  reinforced slab  %5.1f dB   (the floor term, fn. 1)\n",
+                wall_attenuation_db(wall_material::reinforced_slab));
+    std::printf("  metal barrier    %5.1f dB   (opaque case below)\n\n",
+                wall_attenuation_db(wall_material::metal));
+
+    std::printf("single reflection off a far wall: %.1f dB "
+                "(paper: 'less than 10 dB')\n\n",
+                typical_reflection_loss_db());
+
+    std::printf("knife-edge diffraction around an opaque barrier, 2.4 GHz, "
+                "5 m from each node:\n");
+    std::printf("%14s %10s %10s\n", "clearance (m)", "Fresnel v", "loss (dB)");
+    for (double h : {0.0, 0.5, 1.0, 2.0, 3.0, 5.0}) {
+        const double v = fresnel_v(h, 5.0, 5.0, wavelength_m(2.4e9));
+        std::printf("%14.1f %10.2f %10.1f\n", h, v,
+                    knife_edge_loss_db(h, 5.0, 5.0, 2.4e9));
+    }
+    std::printf("(paper: 'the diffraction loss at 2.4 GHz would be around "
+                "30 dB')\n\n");
+
+    // Combine the three escape paths of Figure 8's red arrows.
+    const double paths[] = {
+        wall_attenuation_db(wall_material::metal),          // through
+        typical_reflection_loss_db() + 6.0,                 // far-wall bounce
+        knife_edge_loss_db(3.0, 5.0, 5.0, 2.4e9),           // around the edge
+    };
+    std::printf("combined carrier-sense leakage past an opaque barrier "
+                "(through + reflection + diffraction): %.1f dB\n",
+                combine_paths_db(paths, 3));
+    std::printf("=> even an aggressive barrier leaves the senders mutually "
+                "audible at WLAN link budgets; shadowing is a ~%.0f dB-scale "
+                "effect, not an on/off wall.\n",
+                combine_paths_db(paths, 3));
+    return 0;
+}

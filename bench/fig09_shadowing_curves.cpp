@@ -1,0 +1,72 @@
+// Figure 9: average MAC throughput curves with 8 dB shadowing, with the
+// non-shadowing curves for reference. Carrier sense now interpolates
+// smoothly between branches (the sensed power is random), and long-range
+// concurrency is *raised* by shadowing (the Jensen effect of §3.4).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/threshold.hpp"
+#include "src/report/ascii_plot.hpp"
+
+using namespace csense;
+
+int main() {
+    bench::print_header("Figure 9 - throughput curves with 8 dB shadowing",
+                        "solid model sigma = 8 dB vs sigma = 0 reference; "
+                        "normalized to sigma = 0 Rmax = 20, D = inf");
+    const auto shadowed = bench::make_engine(8.0);
+    const auto reference = bench::make_engine(0.0);
+    const double unit = reference.normalization();
+    const double d_thresh = 55.0;
+
+    for (double rmax : {20.0, 55.0, 120.0}) {
+        std::printf("\n-- Rmax = %.0f (D_thresh = 55) --\n", rmax);
+        std::printf("%8s | %10s %10s %10s %10s | %10s %10s\n", "D",
+                    "mux(s8)", "conc(s8)", "CS(s8)", "opt(s8)", "mux(s0)",
+                    "conc(s0)");
+        const double mux8 = shadowed.expected_multiplexing(rmax) / unit;
+        const double mux0 = reference.expected_multiplexing(rmax) / unit;
+        report::series s_cs{"CS (sigma 8)", {}, {}, 'S'};
+        report::series s_conc{"conc (sigma 8)", {}, {}, 'c'};
+        report::series s_conc0{"conc (sigma 0)", {}, {}, '.'};
+        const int points = bench::fast_mode() ? 10 : 20;
+        for (int i = 1; i <= points; ++i) {
+            const double d = 3.0 * rmax * i / points;
+            const double conc8 = shadowed.expected_concurrent(rmax, d) / unit;
+            const double cs8 =
+                shadowed.expected_carrier_sense(rmax, d, d_thresh) / unit;
+            const double opt8 = shadowed.expected_optimal(rmax, d).mean / unit;
+            const double conc0 = reference.expected_concurrent(rmax, d) / unit;
+            std::printf("%8.1f | %10.4f %10.4f %10.4f %10.4f | %10.4f %10.4f\n",
+                        d, mux8, conc8, cs8, opt8, mux0, conc0);
+            s_cs.x.push_back(d);
+            s_cs.y.push_back(cs8);
+            s_conc.x.push_back(d);
+            s_conc.y.push_back(conc8);
+            s_conc0.x.push_back(d);
+            s_conc0.y.push_back(conc0);
+        }
+        report::plot_options opts;
+        opts.x_label = "inter-sender distance D";
+        opts.y_label = "normalized throughput";
+        std::printf("%s",
+                    report::render_chart({s_cs, s_conc, s_conc0}, opts).c_str());
+    }
+
+    // The two §3.4 observations worth printing explicitly. In the
+    // long-range transition (D = 60, Rmax = 120), shadowing lifts
+    // concurrency relative to multiplexing - Jensen's effect on the
+    // concave-in-dB capacity at low SNR.
+    const double gap_8 = shadowed.expected_concurrent(120.0, 60.0) /
+                         shadowed.expected_multiplexing(120.0);
+    const double gap_0 = reference.expected_concurrent(120.0, 60.0) /
+                         reference.expected_multiplexing(120.0);
+    std::printf("\nlong-range transition conc/mux ratio at D = 60: sigma 8 "
+                "-> %.2f, sigma 0 -> %.2f (shadowing raises concurrency and "
+                "shrinks the gap).\n", gap_8, gap_0);
+    const auto t8 = core::optimal_threshold(shadowed, 120.0);
+    const auto t0 = core::optimal_threshold(reference, 120.0);
+    std::printf("optimal threshold at Rmax = 120: sigma 8 -> %.1f, sigma 0 "
+                "-> %.1f (the leftward shift).\n", t8.d_thresh, t0.d_thresh);
+    return 0;
+}

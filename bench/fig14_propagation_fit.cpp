@@ -1,0 +1,68 @@
+// Figure 14: measured wideband signal strengths for all testbed pairs at
+// 2.4 GHz with the censored maximum-likelihood fit of the path-loss /
+// shadowing model. The thesis recovers alpha = 3.6, sigma = 10.4 dB on
+// its hardware; we recover the parameters the synthetic channel was
+// generated with, and show the bias of ignoring invisible links.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/report/ascii_plot.hpp"
+#include "src/testbed/rssi_survey.hpp"
+
+using namespace csense;
+
+int main() {
+    bench::print_header("Figure 14 - propagation survey and ML fit (2.4 GHz)",
+                        "SNR vs distance for all pairs; censored-ML fit with "
+                        "+-1 sigma bounds; paper: alpha 3.6, sigma 10.4 dB");
+    const auto bed = testbed::make_default_testbed();
+    testbed::rssi_survey_config cfg;
+    const auto survey = run_rssi_survey(bed, cfg);
+
+    report::series points{"pair SNR", {}, {}, '*'};
+    report::series mean{"fit mean", {}, {}, '-'};
+    report::series hi{"fit +1 sigma", {}, {}, '\''};
+    report::series lo{"fit -1 sigma", {}, {}, ','};
+    for (const auto& obs : survey.observations) {
+        if (obs.censored) continue;
+        points.x.push_back(std::log10(obs.distance));
+        points.y.push_back(obs.snr_db);
+    }
+    for (double d = 3.0; d <= 200.0; d *= 1.15) {
+        const double m = propagation::fit_mean_snr_db(
+            survey.fit, cfg.reference_distance_m, d);
+        mean.x.push_back(std::log10(d));
+        mean.y.push_back(m);
+        hi.x.push_back(std::log10(d));
+        hi.y.push_back(m + survey.fit.sigma_db);
+        lo.x.push_back(std::log10(d));
+        lo.y.push_back(m - survey.fit.sigma_db);
+    }
+    report::plot_options opts;
+    opts.x_label = "log10(distance, m)";
+    opts.y_label = "SNR (dB)";
+    opts.y_from_zero = false;
+    std::printf("%s",
+                report::render_chart({points, mean, hi, lo}, opts).c_str());
+
+    std::printf("\npairs: %zu, censored (below %.0f dB detection): %d\n",
+                survey.observations.size(), cfg.detection_threshold_db,
+                survey.censored_count);
+    std::printf("%-24s %8s %10s %12s\n", "", "alpha", "sigma(dB)",
+                "RSSI0(R=20)");
+    std::printf("%-24s %8.2f %10.2f %12.1f\n", "ground truth",
+                survey.true_alpha, survey.true_sigma_db,
+                propagation::fit_mean_snr_db(survey.fit,
+                                             cfg.reference_distance_m,
+                                             cfg.reference_distance_m));
+    std::printf("%-24s %8.2f %10.2f %12.1f\n", "censored ML fit",
+                survey.fit.alpha, survey.fit.sigma_db, survey.fit.rssi0_db);
+    std::printf("%-24s %8.2f %10.2f %12.1f   <- biased flat\n",
+                "naive fit (drop hidden)", survey.naive_fit.alpha,
+                survey.naive_fit.sigma_db, survey.naive_fit.rssi0_db);
+    std::printf("\n(the thesis' fit 'accounts for the invisibility of "
+                "sub-threshold links'; the naive row shows why that "
+                "correction matters)\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Performance microbenchmarks (google-benchmark) for the numerical and
+// simulation hot paths: point capacities, disc quadrature, the shadowed
+// concurrency expectation, the U-statistic optimal-MAC estimator, the
+// event queue, and a saturated DCF second.
+#include <benchmark/benchmark.h>
+
+#include "src/capacity/rate_table.hpp"
+#include "src/core/expected.hpp"
+#include "src/core/policies.hpp"
+#include "src/mac/network.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/quadrature.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using namespace csense;
+
+void bm_capacity_concurrent_point(benchmark::State& state) {
+    core::model_params params;
+    params.sigma_db = 0.0;
+    double r = 5.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::capacity_concurrent(params, r, 1.0, 55.0));
+        r = (r < 100.0) ? r + 0.1 : 5.0;
+    }
+}
+BENCHMARK(bm_capacity_concurrent_point);
+
+void bm_disc_average(benchmark::State& state) {
+    const auto n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::disc_average(
+            [](double r, double theta) { return r * std::cos(theta) + r; },
+            55.0, n, n));
+    }
+}
+BENCHMARK(bm_disc_average)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_expected_concurrent_shadowed(benchmark::State& state) {
+    core::model_params params;
+    params.sigma_db = 8.0;
+    core::quadrature_options quad;
+    quad.radial_nodes = 24;
+    quad.angular_nodes = 32;
+    quad.shadow_nodes = static_cast<int>(state.range(0));
+    core::expectation_engine engine(params, quad, {1000, 1});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.expected_concurrent(55.0, 55.0));
+    }
+}
+BENCHMARK(bm_expected_concurrent_shadowed)->Arg(8)->Arg(16);
+
+void bm_expected_optimal(benchmark::State& state) {
+    core::model_params params;
+    params.sigma_db = 8.0;
+    core::quadrature_options quad;
+    quad.radial_nodes = 24;
+    quad.angular_nodes = 32;
+    quad.shadow_nodes = 8;
+    core::mc_options mc;
+    mc.samples = static_cast<std::size_t>(state.range(0));
+    core::expectation_engine engine(params, quad, mc);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.expected_optimal(55.0, 55.0));
+    }
+}
+BENCHMARK(bm_expected_optimal)->Arg(10000)->Arg(100000);
+
+void bm_rectified_pair_mean(benchmark::State& state) {
+    stats::rng gen(7);
+    std::vector<double> samples;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+        samples.push_back(gen.normal());
+    }
+    for (auto _ : state) {
+        auto copy = samples;
+        benchmark::DoNotOptimize(core::rectified_pair_mean(std::move(copy)));
+    }
+}
+BENCHMARK(bm_rectified_pair_mean)->Arg(10000)->Arg(100000);
+
+void bm_event_queue(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::simulator simulator;
+        int counter = 0;
+        for (int i = 0; i < 1000; ++i) {
+            simulator.schedule_in(i * 3.0, [&counter] { ++counter; });
+        }
+        simulator.run_all();
+        benchmark::DoNotOptimize(counter);
+    }
+}
+BENCHMARK(bm_event_queue);
+
+void bm_dcf_simulated_second(benchmark::State& state) {
+    const auto& rate = capacity::rate_by_mbps(24.0);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        mac::two_pair_gains gains;
+        gains.s1_r1 = gains.s2_r2 = -60.0;
+        gains.s1_s2 = gains.s1_r2 = gains.s2_r1 = gains.r1_r2 = -70.0;
+        const auto result = mac::run_two_pair_competition(
+            mac::radio_config{}, gains, rate, rate,
+            mac::cs_mode::energy_and_preamble, 1e6, 1400, seed++);
+        benchmark::DoNotOptimize(result.total_pps());
+    }
+}
+BENCHMARK(bm_dcf_simulated_second)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// §3.2.5 Table 2: the same grid with thresholds optimized per scenario by
+// the §3.3.3 criterion (the concurrency/multiplexing crossing).
+//
+// Paper: Rmax 20 -> Dthresh 40, Rmax 40 -> 55, Rmax 120 -> 60, and the
+// efficiencies barely move: "carrier sense ... is quite robust to small
+// variation in threshold (or environment)."
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/efficiency.hpp"
+#include "src/core/threshold.hpp"
+#include "src/report/table.hpp"
+
+using namespace csense;
+
+int main() {
+    bench::print_header("Table 2 (S3.2.5) - CS efficiency, tuned thresholds",
+                        "alpha = 3, sigma = 8 dB; per-row optimal threshold; "
+                        "paper values in parentheses");
+    const auto engine = bench::make_engine(8.0, /*high_accuracy=*/true);
+    const double paper[3][3] = {{93, 91, 99}, {96, 87, 96}, {89, 83, 92}};
+    const double paper_thresh[3] = {40.0, 55.0, 60.0};
+    const double rmax_values[3] = {20.0, 40.0, 120.0};
+    const double d_values[3] = {20.0, 55.0, 120.0};
+
+    report::text_table table(
+        {"Rmax (Dthresh, paper)", "D=20", "D=55", "D=120"});
+    for (int i = 0; i < 3; ++i) {
+        const auto tuned = core::optimal_threshold(engine, rmax_values[i]);
+        std::vector<std::string> row{
+            report::fmt(rmax_values[i], 0) + " (" +
+            report::fmt(tuned.d_thresh, 1) + ", " +
+            report::fmt(paper_thresh[i], 0) + ")"};
+        for (int j = 0; j < 3; ++j) {
+            const auto point = core::evaluate_policies(
+                engine, rmax_values[i], d_values[j], tuned.d_thresh);
+            row.push_back(report::fmt_percent(point.efficiency()) + " (" +
+                          report::fmt(paper[i][j], 0) + "%)");
+        }
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper: 'Very little change is observed' versus the fixed "
+                "factory threshold of Table 1.\n");
+    return 0;
+}

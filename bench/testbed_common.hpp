@@ -1,0 +1,128 @@
+// Shared testbed-experiment driver for the §4 benches (Figures 10-13,
+// Tables 3-4). The short- and long-range datasets are expensive, and
+// several binaries view the same dataset; results are cached on disk
+// (keyed by configuration) so e.g. fig10, fig11 and tab03 compute the
+// ensemble once.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "src/testbed/experiment.hpp"
+
+namespace csense::bench {
+
+inline testbed::experiment_config bench_config(bool short_range) {
+    auto cfg = short_range ? testbed::short_range_config()
+                           : testbed::long_range_config();
+    if (fast_mode()) {
+        cfg.runs = 6;
+        cfg.duration_s = 1.0;
+    } else {
+        cfg.runs = 40;
+        cfg.duration_s = 15.0;  // the thesis' run length
+    }
+    return cfg;
+}
+
+inline std::string cache_key(const testbed::experiment_config& cfg) {
+    std::ostringstream key;
+    key << "v3_" << cfg.runs << "_" << cfg.duration_s << "_" << cfg.category_lo
+        << "_" << cfg.category_hi << "_" << cfg.seed << "_"
+        << cfg.rssi_strata_lo_db << "_" << cfg.rssi_strata_hi_db;
+    return key.str();
+}
+
+inline std::filesystem::path cache_path(const testbed::experiment_config& cfg,
+                                        bool short_range) {
+    return std::filesystem::path("csense_bench_cache") /
+           ((short_range ? std::string("short_") : std::string("long_")) +
+            cache_key(cfg) + ".tsv");
+}
+
+/// Run (or load) the ensemble for one category.
+inline testbed::experiment_result dataset(bool short_range) {
+    const auto cfg = bench_config(short_range);
+    const auto path = cache_path(cfg, short_range);
+
+    testbed::experiment_result result;
+    if (std::ifstream in{path}; in) {
+        std::string line;
+        std::getline(in, line);  // header
+        while (std::getline(in, line)) {
+            std::istringstream row(line);
+            testbed::run_result r;
+            row >> r.pair1.sender >> r.pair1.receiver >> r.pair2.sender >>
+                r.pair2.receiver >> r.mux_pps >> r.conc_pps >> r.cs_pps >>
+                r.conc_pair1 >> r.conc_pair2 >> r.cs_pair1 >> r.cs_pair2 >>
+                r.sender_rssi_db >> r.snr1_db >> r.snr2_db;
+            if (row) result.runs.push_back(r);
+        }
+        std::string tail;
+        if (std::ifstream meta{path.string() + ".meta"}; meta) {
+            meta >> result.category_snr_db;
+        }
+        if (result.runs.size() == static_cast<std::size_t>(cfg.runs)) {
+            for (const auto& r : result.runs) {
+                result.avg_mux += r.mux_pps;
+                result.avg_conc += r.conc_pps;
+                result.avg_cs += r.cs_pps;
+                result.avg_optimal += r.optimal_pps();
+            }
+            const double n = static_cast<double>(result.runs.size());
+            result.avg_mux /= n;
+            result.avg_conc /= n;
+            result.avg_cs /= n;
+            result.avg_optimal /= n;
+            std::printf("(loaded cached ensemble: %s)\n", path.c_str());
+            return result;
+        }
+        result = {};
+    }
+
+    std::printf("(simulating %d runs x %.0f s x 20 measurements ...)\n",
+                cfg.runs, cfg.duration_s);
+    const auto bed = testbed::make_default_testbed();
+    result = testbed::run_experiment(bed, cfg);
+
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (std::ofstream out{path}; out) {
+        out << "s1 r1 s2 r2 mux conc cs c1 c2 cs1 cs2 rssi snr1 snr2\n";
+        for (const auto& r : result.runs) {
+            out << r.pair1.sender << ' ' << r.pair1.receiver << ' '
+                << r.pair2.sender << ' ' << r.pair2.receiver << ' '
+                << r.mux_pps << ' ' << r.conc_pps << ' ' << r.cs_pps << ' '
+                << r.conc_pair1 << ' ' << r.conc_pair2 << ' ' << r.cs_pair1
+                << ' ' << r.cs_pair2 << ' ' << r.sender_rssi_db << ' '
+                << r.snr1_db << ' ' << r.snr2_db << '\n';
+        }
+        std::ofstream meta{path.string() + ".meta"};
+        meta << result.category_snr_db << '\n';
+    }
+    return result;
+}
+
+/// Print the §4 summary block (the Tables 3/4 format).
+inline void print_summary(const testbed::experiment_result& result,
+                          const char* label, double paper_opt,
+                          double paper_cs, double paper_mux,
+                          double paper_conc) {
+    std::printf("\n%s ensemble (%zu runs, category mean SNR %.1f dB):\n",
+                label, result.runs.size(), result.category_snr_db);
+    std::printf("  %-28s measured        paper\n", "");
+    std::printf("  Optimal (max over strategies) %6.0f pkt/s   %4.0f pkt/s\n",
+                result.avg_optimal, paper_opt);
+    std::printf("  Carrier Sense                 %6.0f (%3.0f%%)  (%2.0f%%)\n",
+                result.avg_cs, 100.0 * result.cs_fraction(), paper_cs);
+    std::printf("  Multiplexing                  %6.0f (%3.0f%%)  (%2.0f%%)\n",
+                result.avg_mux, 100.0 * result.mux_fraction(), paper_mux);
+    std::printf("  Concurrency                   %6.0f (%3.0f%%)  (%2.0f%%)\n",
+                result.avg_conc, 100.0 * result.conc_fraction(), paper_conc);
+}
+
+}  // namespace csense::bench

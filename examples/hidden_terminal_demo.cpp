@@ -1,0 +1,119 @@
+// Hidden-terminal demo on the packet simulator: builds the classic
+// three-party scenario (sender, victim receiver, hidden interferer) and
+// walks through the thesis' argument:
+//   1. at a fixed high bitrate the victim starves - the textbook story;
+//   2. bitrate adaptation recovers a useful share - "a less-than-ideal
+//      bitrate is needed to succeed", not a failure;
+//   3. the §5 heuristic (RTS/CTS only when loss is high despite high
+//      RSSI) recovers most of the rest without taxing anyone else.
+#include <cstdio>
+
+#include "src/capacity/rate_table.hpp"
+#include "src/mac/network.hpp"
+
+using namespace csense;
+using namespace csense::mac;
+using csense::capacity::rate_by_mbps;
+
+namespace {
+
+struct scenario {
+    network net;
+    node_id sender, victim, interferer, other_rx;
+
+    explicit scenario(const mac_config& sender_cfg, std::uint64_t seed)
+        : net(radio_config{}, seed) {
+        sender = net.add_node(sender_cfg);
+        victim = net.add_node(mac_config{});
+        interferer = net.add_node(mac_config{});
+        other_rx = net.add_node(mac_config{});
+        // Sender -> victim: strong link (40 dB SNR).
+        net.set_link_gain_db(sender, victim, -70.0);
+        // Interferer is hidden from the sender...
+        net.set_link_gain_db(sender, interferer, -120.0);
+        // ...but crushes the victim (35 dB SNR at the victim).
+        net.set_link_gain_db(interferer, victim, -75.0);
+        // The victim's CTS, however, is audible at the interferer.
+        net.set_link_gain_db(victim, interferer, -75.0);
+        net.set_link_gain_db(interferer, other_rx, -60.0);
+    }
+
+    void run(double data_mbps, double seconds) {
+        net.node(sender).set_traffic(traffic_mode::saturated_unicast, victim,
+                                     rate_by_mbps(data_mbps), 1400);
+        // The interferer sends short frames (54 Mb/s): it is off the air
+        // often enough to hear the victim's CTS. A saturated interferer
+        // with long frames is deaf to CTS most of the time, and RTS/CTS
+        // can barely help - an instructive corner case in itself.
+        net.node(interferer)
+            .set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+                         rate_by_mbps(54.0), 1400);
+        net.run(seconds * 1e6);
+    }
+};
+
+}  // namespace
+
+int main() {
+    constexpr double seconds = 5.0;
+    std::printf("hidden terminal scenario: sender -> victim at 40 dB SNR; "
+                "interferer hidden from the sender hammers the victim.\n\n");
+    std::printf("%-44s %10s %10s %8s\n", "configuration", "sent", "acked",
+                "goodput");
+
+    auto report = [&](const char* label, const scenario& s) {
+        const auto& stats = s.net.node(s.sender).stats();
+        std::printf("%-44s %10llu %10llu %7.0f/s\n", label,
+                    static_cast<unsigned long long>(stats.data_sent),
+                    static_cast<unsigned long long>(stats.data_acked),
+                    stats.data_acked / seconds);
+    };
+
+    {
+        scenario s(mac_config{}, 1);
+        s.run(24.0, seconds);
+        report("1. fixed 24 Mb/s, plain CSMA", s);
+    }
+    {
+        scenario s(mac_config{}, 2);
+        s.run(6.0, seconds);
+        report("2. fixed 6 Mb/s (bitrate adaptation's pick)", s);
+    }
+    {
+        mac_config cfg;
+        cfg.use_rts_cts = true;
+        scenario s(cfg, 3);
+        s.run(24.0, seconds);
+        report("3. 24 Mb/s + always-on RTS/CTS", s);
+    }
+    {
+        mac_config cfg;
+        cfg.adaptive_rts_cts = true;
+        scenario s(cfg, 4);
+        s.run(24.0, seconds);
+        report("4. 24 Mb/s + S5 heuristic RTS/CTS", s);
+        std::printf("   (heuristic active at end of run: %s; RTS sent: "
+                    "%llu)\n",
+                    s.net.node(s.sender).rts_active() ? "yes" : "no",
+                    static_cast<unsigned long long>(
+                        s.net.node(s.sender).stats().rts_sent));
+    }
+
+    {
+        mac_config cfg;
+        cfg.adaptive_rts_cts = true;
+        scenario s(cfg, 5);
+        s.run(6.0, seconds);
+        report("5. adaptation's rate + heuristic RTS/CTS", s);
+    }
+
+    std::printf("\nreading: (1) is the textbook disaster; (2) shows "
+                "adaptation alone turns it into a slower-but-working link; "
+                "(3) recovers much more, at a constant RTS tax on every "
+                "exchange; (4) pays that tax only after detecting high loss "
+                "despite high RSSI - the thesis' proposed corner-case "
+                "treatment. RTS/CTS protection is only as good as the "
+                "interferer's ability to hear the CTS: against a saturated "
+                "long-frame interferer the NAV rarely lands.\n");
+    return 0;
+}

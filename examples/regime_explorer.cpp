@@ -1,0 +1,69 @@
+// Regime explorer: an interactive-style tour of the short-range /
+// transition / long-range structure (§3.3.3-3.3.4). For each network
+// size it prints the optimal threshold, the regime, the fairness
+// indicator (fraction of receivers starved under concurrency at the
+// threshold distance), and carrier-sense efficiency - the full story of
+// why the "sweet spot" SNR band commodity radios target is kind to
+// carrier sense.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/efficiency.hpp"
+#include "src/core/preference_map.hpp"
+#include "src/core/regimes.hpp"
+#include "src/core/threshold.hpp"
+
+using namespace csense::core;
+
+int main(int argc, char** argv) {
+    model_params params;
+    params.alpha = (argc > 1) ? std::atof(argv[1]) : 3.0;
+    params.sigma_db = (argc > 2) ? std::atof(argv[2]) : 8.0;
+    params.validate();
+    expectation_engine engine(params, {}, {60000, 1});
+
+    std::printf("alpha = %.2f, sigma = %.1f dB, N = %.0f dB\n\n", params.alpha,
+                params.sigma_db, params.noise_db);
+    std::printf("%8s %9s %10s %8s %13s %10s %9s\n", "Rmax", "edge SNR",
+                "D_thresh", "ratio", "regime", "starved", "CS eff");
+
+    for (double rmax = 8.0; rmax <= 140.0; rmax *= 1.45) {
+        const auto threshold = optimal_threshold(engine, rmax);
+        const auto regime = classify_with_threshold(params, rmax, threshold);
+        if (!threshold.found) {
+            std::printf("%8.1f %8.1f %10s %8s %13s\n", rmax,
+                        edge_snr_db(params, rmax), "-", "-",
+                        std::string(regime_name(regime.regime)).c_str());
+            continue;
+        }
+        // Fairness: receivers starved under concurrency with the
+        // interferer exactly at the threshold distance (sigma = 0 map).
+        const auto map = build_preference_map(params, threshold.d_thresh,
+                                              rmax, rmax, 61);
+        const auto pref = summarize(map);
+        // Average CS efficiency over a D sweep.
+        double eff = 0.0;
+        int count = 0;
+        for (double d = 0.5 * rmax; d <= 2.5 * rmax; d += 0.5 * rmax) {
+            eff += evaluate_policies(engine, rmax, d, threshold.d_thresh)
+                       .efficiency();
+            ++count;
+        }
+        std::printf("%8.1f %8.1f %10.1f %8.2f %13s %9.1f%% %8.1f%%\n", rmax,
+                    edge_snr_db(params, rmax), threshold.d_thresh,
+                    threshold.d_thresh / rmax,
+                    std::string(regime_name(regime.regime)).c_str(),
+                    100.0 * pref.fraction_starved, 100.0 * eff / count);
+    }
+
+    std::printf("\nreading the table:\n");
+    std::printf(" - short range (ratio > 2): thresholds sit outside the "
+                "network; no one is starved; CS is nearly optimal.\n");
+    std::printf(" - long range (ratio < 1): interferers get inside the "
+                "network before CS reacts; a small starved fraction appears "
+                "- average stays good, fairness suffers (S3.3.3).\n");
+    std::printf(" - the 12-27 dB edge-SNR band - where real hardware lives "
+                "- straddles the middle: robust thresholds AND good "
+                "efficiency (S3.3.4).\n");
+    return 0;
+}

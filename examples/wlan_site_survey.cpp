@@ -1,0 +1,66 @@
+// WLAN site survey: generate a synthetic office deployment, survey its
+// RSSI matrix like Figure 14, fit the propagation model, then use the
+// *fitted* parameters to drive the analytic carrier-sense planner - the
+// full measure -> model -> plan workflow a deployment tool would run.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/regimes.hpp"
+#include "src/core/threshold.hpp"
+#include "src/testbed/experiment.hpp"
+#include "src/testbed/rssi_survey.hpp"
+
+using namespace csense;
+
+int main(int argc, char** argv) {
+    const int nodes = (argc > 1) ? std::atoi(argv[1]) : 50;
+    const std::uint64_t seed = (argc > 2) ? std::strtoull(argv[2], nullptr, 10)
+                                          : 11;
+
+    std::printf("=== step 1: survey ===\n");
+    const auto bed = testbed::make_default_testbed(nodes, seed);
+    testbed::rssi_survey_config survey_cfg;
+    const auto survey = run_rssi_survey(bed, survey_cfg);
+    std::printf("surveyed %zu pairs over two floors; %d below the detection "
+                "floor\n", survey.observations.size(), survey.censored_count);
+
+    std::printf("\n=== step 2: fit the propagation model ===\n");
+    std::printf("fitted: alpha = %.2f, sigma = %.1f dB (generated with "
+                "%.2f / %.1f)\n", survey.fit.alpha, survey.fit.sigma_db,
+                survey.true_alpha, survey.true_sigma_db);
+
+    std::printf("\n=== step 3: plan carrier sense with the fitted model ===\n");
+    core::model_params params;
+    params.alpha = survey.fit.alpha;
+    params.sigma_db = survey.fit.sigma_db;
+    params.validate();
+    core::expectation_engine engine(params, {}, {60000, 1});
+
+    // Typical WLAN cell edges: 25 dB (dense APs) down to 10 dB (stretch).
+    const double rmax_short = core::rmax_for_edge_snr(params, 25.0);
+    const double rmax_long = core::rmax_for_edge_snr(params, 10.0);
+    const double factory =
+        core::compromise_threshold(engine, rmax_short, rmax_long);
+    std::printf("deployment envelope: Rmax %.1f .. %.1f (normalized units)\n",
+                rmax_short, rmax_long);
+    std::printf("recommended CS threshold: sensed power %.1f dB above the "
+                "noise floor\n",
+                core::threshold_power_db(factory, params.alpha) -
+                    params.noise_db);
+
+    for (double rmax : {rmax_short, rmax_long}) {
+        const auto regime = core::classify_network(engine, rmax);
+        std::printf("  cell with edge SNR %.1f dB -> %s",
+                    core::edge_snr_db(params, rmax),
+                    std::string(core::regime_name(regime.regime)).c_str());
+        if (regime.regime == core::network_regime::long_range) {
+            std::printf("  (expect good averages but watch fairness near "
+                        "interferers - S3.3.3)");
+        }
+        std::printf("\n");
+    }
+    std::printf("\nThe planner never needed the true channel - the fitted "
+                "parameters carried the analysis, which is how the thesis "
+                "connects its Figure 14 measurement to its model.\n");
+    return 0;
+}

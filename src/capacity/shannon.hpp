@@ -1,0 +1,24 @@
+// Shannon capacity as the model of adaptive-bitrate throughput (§2).
+// The thesis uses C/B = log(1 + SNR) as "a rough proportional estimate"
+// of what a bitrate-adapting radio achieves; we report capacities in
+// bits/s/Hz (log base 2). Every ratio the model reports is independent of
+// the log base.
+#pragma once
+
+namespace csense::capacity {
+
+/// Spectral efficiency log2(1 + snr) in bits/s/Hz for a linear SNR >= 0.
+double shannon_bits_per_hz(double snr_linear);
+
+/// Spectral efficiency for an SNR given in dB.
+double shannon_bits_per_hz_db(double snr_db);
+
+/// Inverse: the linear SNR required for a target spectral efficiency.
+double snr_for_bits_per_hz(double bits_per_hz);
+
+/// A practical radio achieves a constant fraction of Shannon capacity
+/// ("less by some constant fraction", §3.2.1). This helper applies a gap
+/// expressed in dB to the SNR before evaluating capacity.
+double gapped_shannon_bits_per_hz(double snr_linear, double gap_db);
+
+}  // namespace csense::capacity

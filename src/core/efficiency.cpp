@@ -1,0 +1,92 @@
+#include "src/core/efficiency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace csense::core {
+
+policy_point evaluate_policies(const expectation_engine& engine, double rmax,
+                               double d, double d_thresh,
+                               bool with_upper_bound) {
+    policy_point point;
+    point.rmax = rmax;
+    point.d = d;
+    point.multiplexing = engine.expected_multiplexing(rmax);
+    point.concurrent = engine.expected_concurrent(rmax, d);
+    const double p_defer = engine.defer_probability(d, d_thresh);
+    point.carrier_sense =
+        p_defer * point.multiplexing + (1.0 - p_defer) * point.concurrent;
+    const estimate optimal = engine.expected_optimal(rmax, d);
+    point.optimal = optimal.mean;
+    point.optimal_stderr = optimal.stderr_mean;
+    if (with_upper_bound) {
+        point.upper_bound = engine.expected_upper_bound(rmax, d);
+    }
+    return point;
+}
+
+efficiency_table build_efficiency_table(const expectation_engine& engine,
+                                        const std::vector<double>& rmax_values,
+                                        const std::vector<double>& d_values,
+                                        double fixed_d_thresh) {
+    return build_efficiency_table(
+        engine, rmax_values, d_values,
+        std::vector<double>(rmax_values.size(), fixed_d_thresh));
+}
+
+efficiency_table build_efficiency_table(const expectation_engine& engine,
+                                        const std::vector<double>& rmax_values,
+                                        const std::vector<double>& d_values,
+                                        const std::vector<double>& d_thresh) {
+    if (d_thresh.size() != rmax_values.size()) {
+        throw std::invalid_argument(
+            "build_efficiency_table: one threshold per Rmax row required");
+    }
+    efficiency_table table;
+    table.rmax_values = rmax_values;
+    table.d_values = d_values;
+    table.d_thresh = d_thresh;
+    for (std::size_t i = 0; i < rmax_values.size(); ++i) {
+        std::vector<policy_point> row;
+        row.reserve(d_values.size());
+        for (double d : d_values) {
+            row.push_back(evaluate_policies(engine, rmax_values[i], d,
+                                            d_thresh[i]));
+        }
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+inefficiency_decomposition decompose_inefficiency(
+    const expectation_engine& engine, double rmax, double d_thresh,
+    double d_lo, double d_hi, int grid_points) {
+    if (!(d_lo > 0.0) || !(d_hi > d_lo) || grid_points < 4) {
+        throw std::invalid_argument("decompose_inefficiency: bad grid");
+    }
+    inefficiency_decomposition result;
+    const double mux = engine.expected_multiplexing(rmax);
+    const double step = (d_hi - d_lo) / grid_points;
+    for (int i = 0; i < grid_points; ++i) {
+        const double d = d_lo + step * (i + 0.5);
+        const double conc = engine.expected_concurrent(rmax, d);
+        const double cs = (d < d_thresh) ? mux : conc;
+        const double best_branch = std::max(mux, conc);
+        const double optimal = engine.expected_optimal(rmax, d).mean;
+        const double gap = std::max(optimal - cs, 0.0);
+        // Avoidable part: loss recoverable just by moving the threshold
+        // (CS below the better of its own two branches).
+        const double avoidable = std::max(best_branch - cs, 0.0);
+        if (d < d_thresh) {
+            result.exposed_area += gap * step;
+            result.avoidable_exposed += avoidable * step;
+        } else {
+            result.hidden_area += gap * step;
+            result.avoidable_hidden += avoidable * step;
+        }
+    }
+    return result;
+}
+
+}  // namespace csense::core

@@ -1,0 +1,69 @@
+// Carrier-sense efficiency (§3.2.5): CS throughput as a fraction of the
+// optimal MAC's, across the (Rmax, D) grid the thesis tabulates, plus the
+// Figure 6 decomposition of inefficiency into "hidden terminal" (right of
+// the threshold) and "exposed terminal" (left of the threshold) gaps.
+#pragma once
+
+#include <vector>
+
+#include "src/core/expected.hpp"
+
+namespace csense::core {
+
+/// All policy averages for one (Rmax, D) point.
+struct policy_point {
+    double rmax = 0.0;
+    double d = 0.0;
+    double multiplexing = 0.0;
+    double concurrent = 0.0;
+    double carrier_sense = 0.0;
+    double optimal = 0.0;
+    double optimal_stderr = 0.0;
+    double upper_bound = 0.0;  ///< <C_UBmax>
+
+    /// CS / optimal.
+    double efficiency() const noexcept {
+        return (optimal > 0.0) ? carrier_sense / optimal : 0.0;
+    }
+};
+
+/// Evaluate every policy at one point for a given threshold distance.
+policy_point evaluate_policies(const expectation_engine& engine, double rmax,
+                               double d, double d_thresh,
+                               bool with_upper_bound = false);
+
+/// The §3.2.5 efficiency table: rows Rmax, columns D, entries CS/optimal.
+struct efficiency_table {
+    std::vector<double> rmax_values;
+    std::vector<double> d_values;
+    std::vector<double> d_thresh;            ///< per-row threshold used
+    std::vector<std::vector<policy_point>> rows;
+};
+
+/// Build the table with one fixed threshold for all rows (Table 1) ...
+efficiency_table build_efficiency_table(const expectation_engine& engine,
+                                        const std::vector<double>& rmax_values,
+                                        const std::vector<double>& d_values,
+                                        double fixed_d_thresh);
+
+/// ... or with a per-row threshold (Table 2's tuned thresholds).
+efficiency_table build_efficiency_table(const expectation_engine& engine,
+                                        const std::vector<double>& rmax_values,
+                                        const std::vector<double>& d_values,
+                                        const std::vector<double>& d_thresh);
+
+/// Figure 6's shaded areas for a threshold at sigma = 0: integrate the
+/// optimal-vs-CS gap over D on each side of the threshold. The "triangle"
+/// of avoidable loss is the part of the gap below max(<C_mux>, <C_conc>).
+struct inefficiency_decomposition {
+    double exposed_area = 0.0;      ///< gap left of threshold (mux branch)
+    double hidden_area = 0.0;       ///< gap right of threshold (conc branch)
+    double avoidable_exposed = 0.0; ///< exposed triangle from bad threshold
+    double avoidable_hidden = 0.0;  ///< hidden triangle from bad threshold
+};
+
+inefficiency_decomposition decompose_inefficiency(
+    const expectation_engine& engine, double rmax, double d_thresh,
+    double d_lo, double d_hi, int grid_points = 60);
+
+}  // namespace csense::core

@@ -1,0 +1,268 @@
+#include "src/core/expected.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/geometry.hpp"
+#include "src/core/policies.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/quadrature.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::core {
+namespace {
+
+void require_positive(double value, const char* what) {
+    if (!(value > 0.0)) throw std::domain_error(what);
+}
+
+}  // namespace
+
+expectation_engine::expectation_engine(model_params params,
+                                       quadrature_options quad, mc_options mc)
+    : params_(params), quad_(quad), mc_(mc) {
+    params_.validate();
+    quad_.validate();
+    if (mc_.samples < 16) {
+        throw std::invalid_argument("mc_options: need at least 16 samples");
+    }
+}
+
+double expectation_engine::expected_single(double rmax) const {
+    require_positive(rmax, "expected_single: rmax");
+    // C_single is independent of theta: reduce to a radial integral
+    // (2 / Rmax^2) Int_0^Rmax E_L[C_single(r, L)] r dr.
+    const auto& rule = stats::gauss_legendre(quad_.radial_nodes);
+    const stats::lognormal_shadowing shadow(params_.sigma_db);
+    double sum = 0.0;
+    for (int i = 0; i < quad_.radial_nodes; ++i) {
+        const double r = 0.5 * rmax * (rule.nodes[i] + 1.0);
+        const double wr = 0.5 * rmax * rule.weights[i];
+        double value;
+        if (params_.deterministic()) {
+            value = capacity_single(params_, r);
+        } else {
+            value = stats::normal_expectation(
+                [&](double z) {
+                    return capacity_single(params_, r,
+                                           shadow.from_standard_normal(z));
+                },
+                quad_.shadow_nodes);
+        }
+        sum += wr * r * value;
+    }
+    return 2.0 * sum / (rmax * rmax);
+}
+
+double expectation_engine::expected_multiplexing(double rmax) const {
+    return 0.5 * expected_single(rmax);
+}
+
+double expectation_engine::shadow_average_concurrent(double, double r,
+                                                     double theta,
+                                                     double d) const {
+    if (params_.deterministic()) {
+        return capacity_concurrent(params_, r, theta, d);
+    }
+    const stats::lognormal_shadowing shadow(params_.sigma_db);
+    // E over the two independent shadowing axes (signal, interference).
+    return stats::normal_expectation(
+        [&](double zs) {
+            const double ls = shadow.from_standard_normal(zs);
+            return stats::normal_expectation(
+                [&](double zi) {
+                    const double li = shadow.from_standard_normal(zi);
+                    return capacity_concurrent(params_, r, theta, d, ls, li);
+                },
+                quad_.shadow_nodes);
+        },
+        quad_.shadow_nodes);
+}
+
+double expectation_engine::expected_concurrent(double rmax, double d) const {
+    require_positive(rmax, "expected_concurrent: rmax");
+    if (d < 0.0) throw std::domain_error("expected_concurrent: d");
+    return stats::disc_average(
+        [&](double r, double theta) {
+            return shadow_average_concurrent(rmax, r, theta, d);
+        },
+        rmax, quad_.radial_nodes, quad_.angular_nodes);
+}
+
+double expectation_engine::expected_upper_bound(double rmax, double d) const {
+    require_positive(rmax, "expected_upper_bound: rmax");
+    const stats::lognormal_shadowing shadow(params_.sigma_db);
+    return stats::disc_average(
+        [&](double r, double theta) {
+            if (params_.deterministic()) {
+                return capacity_upper_bound(params_, r, theta, d);
+            }
+            return stats::normal_expectation(
+                [&](double zs) {
+                    const double ls = shadow.from_standard_normal(zs);
+                    return stats::normal_expectation(
+                        [&](double zi) {
+                            const double li = shadow.from_standard_normal(zi);
+                            return capacity_upper_bound(params_, r, theta, d,
+                                                        ls, li);
+                        },
+                        quad_.shadow_nodes);
+                },
+                quad_.shadow_nodes);
+        },
+        rmax, quad_.radial_nodes, quad_.angular_nodes);
+}
+
+double expectation_engine::defer_probability(double d, double d_thresh) const {
+    require_positive(d, "defer_probability: d");
+    if (d_thresh <= 0.0) return 0.0;  // zero threshold: never defer
+    if (params_.deterministic()) {
+        return (d < d_thresh) ? 1.0 : 0.0;
+    }
+    // Defer when D^-alpha * L'' > D_thresh^-alpha, i.e. when the sensing
+    // shadow exceeds the dB margin between D and the threshold distance.
+    const double margin_db = 10.0 * params_.alpha * std::log10(d / d_thresh);
+    return 1.0 - stats::normal_cdf(margin_db / params_.sigma_db);
+}
+
+double expectation_engine::expected_carrier_sense(double rmax, double d,
+                                                  double d_thresh) const {
+    const double p_defer = defer_probability(d, d_thresh);
+    const double mux = expected_multiplexing(rmax);
+    if (p_defer >= 1.0) return mux;
+    const double conc = expected_concurrent(rmax, d);
+    return p_defer * mux + (1.0 - p_defer) * conc;
+}
+
+std::vector<double> expectation_engine::sample_deltas(double rmax, double d,
+                                                      std::size_t count) const {
+    require_positive(rmax, "sample_deltas: rmax");
+    std::vector<double> deltas;
+    deltas.reserve(count);
+    const stats::lognormal_shadowing shadow(params_.sigma_db);
+    stats::rng base(mc_.seed);
+    // One derived stream per sample index: common random numbers across
+    // calls with different (rmax, d) but the same seed.
+    for (std::size_t i = 0; i < count; ++i) {
+        stats::rng gen = base.split(static_cast<std::uint64_t>(i));
+        const auto point = stats::sample_uniform_disc(gen, rmax);
+        double ls = 1.0, li = 1.0;
+        if (!params_.deterministic()) {
+            ls = shadow.sample(gen);
+            li = shadow.sample(gen);
+        }
+        const double conc =
+            capacity_concurrent(params_, point.r, point.theta, d, ls, li);
+        const double mux = capacity_multiplexing(params_, point.r, ls);
+        deltas.push_back(conc - mux);
+    }
+    return deltas;
+}
+
+estimate rectified_pair_mean(std::vector<double> samples) {
+    const std::size_t k = samples.size();
+    if (k < 2) throw std::invalid_argument("rectified_pair_mean: need >= 2");
+    std::sort(samples.begin(), samples.end());
+    // Suffix sums: suffix[j] = sum of samples[j..k-1].
+    std::vector<double> suffix(k + 1, 0.0);
+    for (std::size_t j = k; j-- > 0;) {
+        suffix[j] = suffix[j + 1] + samples[j];
+    }
+    // g[i] = (1/(k-1)) * sum_{j != i} max(samples[i] + samples[j], 0).
+    // For sorted samples, the j with samples[j] >= -samples[i] form a
+    // suffix, found by binary search.
+    double total = 0.0;
+    std::vector<double> g(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        const double x = samples[i];
+        const auto first =
+            std::lower_bound(samples.begin(), samples.end(), -x);
+        const std::size_t j0 = static_cast<std::size_t>(first - samples.begin());
+        const double cnt = static_cast<double>(k - j0);
+        double sum = suffix[j0] + x * cnt;
+        // The diagonal term j == i lies in the suffix exactly when x >= 0
+        // (sorted order); exclude its contribution max(2x, 0) = 2x.
+        if (x >= 0.0) sum -= 2.0 * x;
+        g[i] = sum / static_cast<double>(k - 1);
+        total += sum;
+    }
+    const double mean =
+        total / (static_cast<double>(k) * static_cast<double>(k - 1));
+    // Hajek projection: Var(U) ~ (4/k) Var(g_i) for a degree-2 U-statistic.
+    double gm = 0.0;
+    for (double v : g) gm += v;
+    gm /= static_cast<double>(k);
+    double var_g = 0.0;
+    for (double v : g) var_g += (v - gm) * (v - gm);
+    var_g /= static_cast<double>(k - 1);
+    const double stderr_u = std::sqrt(4.0 * var_g / static_cast<double>(k));
+    return {mean, stderr_u};
+}
+
+estimate expectation_engine::expected_optimal(double rmax, double d) const {
+    const double mux = expected_multiplexing(rmax);
+    auto deltas = sample_deltas(rmax, d, mc_.samples);
+    const estimate rectified = rectified_pair_mean(std::move(deltas));
+    // <C_max> = 1/2 E[max(Cc1+Cc2, Cm1+Cm2)]
+    //         = <C_mux> + 1/2 E[(Delta1 + Delta2)^+].
+    return {mux + 0.5 * rectified.mean, 0.5 * rectified.stderr_mean};
+}
+
+double expectation_engine::normalization() const {
+    return expected_single(20.0);
+}
+
+double expectation_engine::expected_multiplexing_fixed_rate(
+    double rmax, double rate_bits_per_hz) const {
+    require_positive(rmax, "expected_multiplexing_fixed_rate: rmax");
+    const stats::lognormal_shadowing shadow(params_.sigma_db);
+    const auto& rule = stats::gauss_legendre(quad_.radial_nodes);
+    double sum = 0.0;
+    for (int i = 0; i < quad_.radial_nodes; ++i) {
+        const double r = 0.5 * rmax * (rule.nodes[i] + 1.0);
+        const double wr = 0.5 * rmax * rule.weights[i];
+        auto value_at = [&](double ls) {
+            return 0.5 * capacity_fixed_rate(snr_single(params_, r, ls),
+                                             rate_bits_per_hz);
+        };
+        double value;
+        if (params_.deterministic()) {
+            value = value_at(1.0);
+        } else {
+            value = stats::normal_expectation(
+                [&](double z) { return value_at(shadow.from_standard_normal(z)); },
+                quad_.shadow_nodes);
+        }
+        sum += wr * r * value;
+    }
+    return 2.0 * sum / (rmax * rmax);
+}
+
+double expectation_engine::expected_concurrent_fixed_rate(
+    double rmax, double d, double rate_bits_per_hz) const {
+    require_positive(rmax, "expected_concurrent_fixed_rate: rmax");
+    const stats::lognormal_shadowing shadow(params_.sigma_db);
+    return stats::disc_average(
+        [&](double r, double theta) {
+            auto value_at = [&](double ls, double li) {
+                return capacity_fixed_rate(
+                    sinr_concurrent(params_, r, theta, d, ls, li),
+                    rate_bits_per_hz);
+            };
+            if (params_.deterministic()) return value_at(1.0, 1.0);
+            return stats::normal_expectation(
+                [&](double zs) {
+                    const double ls = shadow.from_standard_normal(zs);
+                    return stats::normal_expectation(
+                        [&](double zi) {
+                            return value_at(ls, shadow.from_standard_normal(zi));
+                        },
+                        quad_.shadow_nodes);
+                },
+                quad_.shadow_nodes);
+        },
+        rmax, quad_.radial_nodes, quad_.angular_nodes);
+}
+
+}  // namespace csense::core

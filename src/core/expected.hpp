@@ -1,0 +1,105 @@
+// Expected (configuration-averaged) throughput under each MAC policy
+// (§3.2.2): <C_i>(Rmax, D) = (1/pi Rmax^2) Int Int C_i(r, theta) r dtheta dr,
+// additionally averaged over the lognormal shadowing draws when sigma > 0.
+//
+// Numerical strategy:
+//  - single-pair policies (<C_single>, <C_mux>, <C_conc>, <C_UBmax>) use
+//    deterministic tensor quadrature: Gauss-Legendre radially, the
+//    periodic rectangle rule in angle, Gauss-Hermite per shadowing axis;
+//  - carrier sense uses the closed-form defer probability
+//    P(defer) = Phi(10 alpha log10(D_thresh / D) / sigma), since the
+//    sensing shadow L'' is independent of everything at the receivers:
+//    <C_cs> = P(defer) <C_mux> + (1 - P(defer)) <C_conc>;
+//  - the joint optimal MAC <C_max> = <C_mux> + 1/2 E[(Delta_1 + Delta_2)^+]
+//    with Delta = C_conc - C_mux per pair. The rectified cross term is
+//    estimated by a U-statistic over K i.i.d. per-pair samples, evaluated
+//    in O(K log K) by sorting + prefix sums, with a Hajek-projection
+//    standard error. Only the (small) rectified term carries Monte Carlo
+//    noise; the bulk of <C_max> is deterministic.
+#pragma once
+
+#include <vector>
+
+#include "src/core/model.hpp"
+
+namespace csense::core {
+
+/// An estimate with Monte Carlo uncertainty (stderr = 0 for fully
+/// deterministic quantities).
+struct estimate {
+    double mean = 0.0;
+    double stderr_mean = 0.0;
+};
+
+/// Expected-throughput engine for a fixed propagation environment.
+/// Methods are const and cache nothing except the quadrature rules
+/// (cached globally); instances are cheap to copy.
+class expectation_engine {
+public:
+    explicit expectation_engine(model_params params,
+                                quadrature_options quad = {},
+                                mc_options mc = {});
+
+    const model_params& params() const noexcept { return params_; }
+    const quadrature_options& quadrature() const noexcept { return quad_; }
+    const mc_options& mc() const noexcept { return mc_; }
+
+    /// <C_single>(Rmax): no competition.
+    double expected_single(double rmax) const;
+
+    /// <C_mux>(Rmax) = <C_single>/2: ideal TDMA.
+    double expected_multiplexing(double rmax) const;
+
+    /// <C_conc>(Rmax, D): both senders always transmit.
+    double expected_concurrent(double rmax, double d) const;
+
+    /// <C_UBmax>(Rmax, D) = E[max(C_conc, C_mux)]: per-receiver upper
+    /// bound on the optimal MAC (§3.2.2).
+    double expected_upper_bound(double rmax, double d) const;
+
+    /// P(senders defer) for true separation D and threshold distance
+    /// D_thresh (P_thresh = D_thresh^-alpha). Exactly 0/1 when sigma = 0.
+    double defer_probability(double d, double d_thresh) const;
+
+    /// <C_cs>(Rmax, D) for a given threshold distance.
+    double expected_carrier_sense(double rmax, double d, double d_thresh) const;
+
+    /// <C_max>(Rmax, D): the optimal MAC over both pairs jointly, with
+    /// the equal-resources fairness constraint. Monte Carlo (see header
+    /// comment); uncertainty reported in the estimate.
+    estimate expected_optimal(double rmax, double d) const;
+
+    /// Draw K i.i.d. per-pair values of Delta = C_conc - C_mux (the
+    /// concurrency preference margin). Exposed for diagnostics and tests.
+    std::vector<double> sample_deltas(double rmax, double d,
+                                      std::size_t count) const;
+
+    /// The thesis' normalization constant: <C_single> at Rmax = 20
+    /// (Figure 4's vertical unit, "fraction of Rmax = 20, D = inf
+    /// throughput" - a lone sender's average capacity).
+    double normalization() const;
+
+    /// Fixed-bitrate ("cookie cutter") variants for the §3.3.2 ablation:
+    /// the radio always sends at `rate_bits_per_hz` and delivers nothing
+    /// below the Shannon SNR requirement for that rate.
+    double expected_multiplexing_fixed_rate(double rmax,
+                                            double rate_bits_per_hz) const;
+    double expected_concurrent_fixed_rate(double rmax, double d,
+                                          double rate_bits_per_hz) const;
+
+private:
+    /// E over the shadowing axes of a capacity integrand at one (r, theta).
+    double shadow_average_concurrent(double rmax_unused, double r, double theta,
+                                     double d) const;
+
+    model_params params_;
+    quadrature_options quad_;
+    mc_options mc_;
+};
+
+/// E[(x + y)^+] over all ordered pairs (i != j) of the given samples,
+/// computed in O(K log K), plus the Hajek-projection standard error of
+/// that U-statistic. Exposed for unit testing.
+estimate rectified_pair_mean(std::vector<double> samples);
+
+}  // namespace csense::core

@@ -1,0 +1,65 @@
+#include "src/core/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/policies.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::core {
+
+fairness_report analyze_fairness(const expectation_engine& engine, double rmax,
+                                 double d, double d_thresh,
+                                 std::size_t samples,
+                                 double starvation_fraction) {
+    if (!(rmax > 0.0) || !(d > 0.0) || samples < 100) {
+        throw std::invalid_argument("analyze_fairness: bad arguments");
+    }
+    const auto& params = engine.params();
+    const double p_defer = engine.defer_probability(d, d_thresh);
+    const stats::lognormal_shadowing shadow(params.sigma_db);
+    stats::rng base(engine.mc().seed ^ 0xfa17ULL);
+
+    std::vector<double> throughput;
+    throughput.reserve(samples);
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t starved = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        stats::rng gen = base.split(static_cast<std::uint64_t>(i));
+        const auto point = stats::sample_uniform_disc(gen, rmax);
+        double ls = 1.0, li = 1.0;
+        if (!params.deterministic()) {
+            ls = shadow.sample(gen);
+            li = shadow.sample(gen);
+        }
+        const double mux = capacity_multiplexing(params, point.r, ls);
+        const double conc =
+            capacity_concurrent(params, point.r, point.theta, d, ls, li);
+        const double cs = p_defer * mux + (1.0 - p_defer) * conc;
+        const double ub = std::max(mux, conc);
+        if (cs < starvation_fraction * ub) ++starved;
+        throughput.push_back(cs);
+        sum += cs;
+        sum_sq += cs * cs;
+    }
+
+    fairness_report report;
+    report.rmax = rmax;
+    report.d = d;
+    report.d_thresh = d_thresh;
+    report.samples = samples;
+    const double n = static_cast<double>(samples);
+    report.mean = sum / n;
+    report.jain_index = (sum_sq > 0.0) ? (sum * sum) / (n * sum_sq) : 1.0;
+    report.starved_fraction = static_cast<double>(starved) / n;
+    std::nth_element(throughput.begin(),
+                     throughput.begin() + static_cast<std::ptrdiff_t>(n / 10),
+                     throughput.end());
+    report.p10 = throughput[static_cast<std::size_t>(n / 10)];
+    return report;
+}
+
+}  // namespace csense::core

@@ -1,0 +1,39 @@
+// Per-receiver fairness under carrier sense (§3.3.3's second-order
+// claim): in *short range* networks "not only is average throughput
+// good, but every receiver has a reasonable share"; in *long range*
+// networks "a small, nearby fraction of receivers gets smothered in
+// interference" whenever concurrency runs with an interferer inside the
+// network. This module quantifies both: the starvation probability and
+// Jain's fairness index over the receiver ensemble.
+#pragma once
+
+#include "src/core/expected.hpp"
+
+namespace csense::core {
+
+/// Distributional fairness metrics for one (Rmax, D, threshold) point.
+struct fairness_report {
+    double rmax = 0.0;
+    double d = 0.0;
+    double d_thresh = 0.0;
+    double mean = 0.0;            ///< mean per-receiver CS throughput
+    double p10 = 0.0;             ///< 10th percentile receiver throughput
+    double jain_index = 0.0;      ///< (sum x)^2 / (n * sum x^2), 1 = fair
+    double starved_fraction = 0.0;///< receivers below
+                                  ///< starvation_fraction * C_UBmax
+    std::size_t samples = 0;
+};
+
+/// Sample the per-receiver carrier-sense throughput distribution.
+///
+/// Each sample draws a receiver configuration (position + shadowing) and
+/// an independent sensing shadow; the receiver's long-run throughput is
+/// the defer-probability mixture of its multiplexing and concurrency
+/// capacities. Starvation follows the thesis' Figure 3 criterion:
+/// less than `starvation_fraction` of the receiver's own C_UBmax.
+fairness_report analyze_fairness(const expectation_engine& engine, double rmax,
+                                 double d, double d_thresh,
+                                 std::size_t samples = 40000,
+                                 double starvation_fraction = 0.1);
+
+}  // namespace csense::core

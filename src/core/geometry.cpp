@@ -1,0 +1,30 @@
+#include "src/core/geometry.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace csense::core {
+
+double interferer_distance(double r, double theta, double d) noexcept {
+    const double dx = r * std::cos(theta) + d;
+    const double dy = r * std::sin(theta);
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+double disc_fraction_closer_to_interferer(double d, double rmax) {
+    if (!(d >= 0.0) || !(rmax > 0.0)) {
+        throw std::invalid_argument("disc_fraction_closer_to_interferer");
+    }
+    // Points closer to the interferer lie beyond the perpendicular
+    // bisector, a chord at distance d/2 from the disc centre.
+    const double half = 0.5 * d;
+    if (half >= rmax) return 0.0;
+    // Circular segment beyond a chord at distance h from the centre:
+    // area = R^2 * (phi - sin(phi)) / 2 with phi = 2*acos(h / R).
+    const double phi = 2.0 * std::acos(half / rmax);
+    const double segment = 0.5 * rmax * rmax * (phi - std::sin(phi));
+    return segment / (std::numbers::pi * rmax * rmax);
+}
+
+}  // namespace csense::core

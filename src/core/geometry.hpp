@@ -1,0 +1,20 @@
+// Geometry of the model scenario (Figure 1): sender S1 at the origin, its
+// receiver at polar (r, theta) within network range Rmax, and the
+// interfering sender S2 on the negative x-axis at distance D.
+#pragma once
+
+namespace csense::core {
+
+/// Distance from the interferer (at (-D, 0)) to a receiver at polar
+/// coordinates (r, theta) around the origin:
+/// sqrt((r cos(theta) + D)^2 + (r sin(theta))^2).
+double interferer_distance(double r, double theta, double d) noexcept;
+
+/// Fraction of the Rmax-disc (centred on the sender) lying closer to the
+/// interferer at distance D than to the sender - the circular-segment
+/// area beyond the perpendicular bisector. Used in the §3.4 worked
+/// example ("approximately the fraction of the Rmax disc's area closer to
+/// D = 20 than to the sender" ~ 20%).
+double disc_fraction_closer_to_interferer(double d, double rmax);
+
+}  // namespace csense::core

@@ -1,0 +1,59 @@
+// Parameters of the thesis' two-pair carrier-sense model (§3.2).
+//
+// Normalized units: transmit power P0 is folded into the noise term, so
+// signal power at distance r is r^-alpha * L_sigma and the noise floor is
+// N = N0 / P0 (default -65 dB, thesis fn. 5: with 802.11-like 15 dBm
+// transmitters and a -95 dBm floor, r = 1 is roughly a human-scale
+// distance from the antenna). Capacities are Shannon spectral
+// efficiencies, log2(1 + SINR); every quantity the model reports is a
+// ratio or normalized value, so the log base is immaterial.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace csense::core {
+
+/// Propagation-environment and power parameters of the analytic model.
+struct model_params {
+    double alpha = 3.0;      ///< path-loss exponent (2-4 typical)
+    double sigma_db = 8.0;   ///< lognormal shadowing std dev; 0 disables
+    double noise_db = -65.0; ///< N = N0/P0 in dB (negative)
+
+    /// Throws std::invalid_argument if parameters are non-physical.
+    void validate() const {
+        if (!(alpha > 0.0)) throw std::invalid_argument("model_params: alpha");
+        if (sigma_db < 0.0) throw std::invalid_argument("model_params: sigma");
+        if (noise_db >= 0.0) throw std::invalid_argument("model_params: noise");
+    }
+
+    /// Linear noise floor N.
+    double noise_linear() const noexcept {
+        return std::pow(10.0, noise_db / 10.0);
+    }
+
+    /// True when shadowing is disabled (the §3.3 simplified model).
+    bool deterministic() const noexcept { return sigma_db == 0.0; }
+};
+
+/// Numerical-accuracy knobs for the expectation engine.
+struct quadrature_options {
+    int radial_nodes = 48;    ///< Gauss-Legendre nodes in r
+    int angular_nodes = 64;   ///< periodic-rule nodes in theta
+    int shadow_nodes = 16;    ///< Gauss-Hermite nodes per shadowing axis
+
+    void validate() const {
+        if (radial_nodes < 2 || angular_nodes < 2 || shadow_nodes < 1) {
+            throw std::invalid_argument("quadrature_options: too few nodes");
+        }
+    }
+};
+
+/// Monte Carlo knobs for the joint optimal-MAC expectation.
+struct mc_options {
+    std::size_t samples = 100'000;  ///< per-pair samples for the U-statistic
+    std::uint64_t seed = 42;        ///< base seed (common random numbers)
+};
+
+}  // namespace csense::core

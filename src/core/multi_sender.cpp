@@ -1,0 +1,135 @@
+#include "src/core/multi_sender.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "src/capacity/shannon.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::core {
+
+std::vector<multi_sender_point> evaluate_multi_sender_thresholds(
+    const model_params& params, int senders, double rmax, double d,
+    const std::vector<double>& d_thresholds, std::size_t samples,
+    std::uint64_t seed) {
+    params.validate();
+    if (senders < 2 || !(rmax > 0.0) || !(d > 0.0) || samples < 100 ||
+        d_thresholds.empty()) {
+        throw std::invalid_argument("evaluate_multi_sender: bad arguments");
+    }
+    const int n = senders;
+    const double noise = params.noise_linear();
+    const stats::lognormal_shadowing shadow(params.sigma_db);
+    stats::rng base(seed);
+
+    struct vec2 {
+        double x, y;
+    };
+    std::vector<vec2> sender_pos(n);
+    std::vector<vec2> receiver_pos(n);
+    // Per-(receiver, sender) shadows; [i][j] is the path from sender j to
+    // receiver i. Sensing shadows are per sender pair.
+    std::vector<std::vector<double>> path_shadow(n, std::vector<double>(n));
+
+    double sum_mux = 0.0, sum_conc = 0.0, sum_opt = 0.0;
+    std::vector<double> sum_cs(d_thresholds.size(), 0.0);
+    for (std::size_t s = 0; s < samples; ++s) {
+        stats::rng gen = base.split(static_cast<std::uint64_t>(s));
+        // Geometry: sender 0 at the origin, the rest on a circle of
+        // radius D at independent uniform angles.
+        sender_pos[0] = {0.0, 0.0};
+        for (int j = 1; j < n; ++j) {
+            const double angle = gen.uniform(0.0, 2.0 * std::numbers::pi);
+            sender_pos[j] = {d * std::cos(angle), d * std::sin(angle)};
+        }
+        for (int i = 0; i < n; ++i) {
+            const auto p = stats::sample_uniform_disc(gen, rmax);
+            receiver_pos[i] = {sender_pos[i].x + p.r * std::cos(p.theta),
+                               sender_pos[i].y + p.r * std::sin(p.theta)};
+            for (int j = 0; j < n; ++j) {
+                path_shadow[i][j] = params.deterministic()
+                                        ? 1.0
+                                        : shadow.sample(gen);
+            }
+        }
+
+        // Carrier sense: any mutually-sensed pair above threshold puts
+        // the whole cluster into TDMA. The decision is a comparison of
+        // the *maximum* sensed power against the threshold, so one pass
+        // serves every candidate threshold.
+        double max_sensed = 0.0;
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                const double dx = sender_pos[a].x - sender_pos[b].x;
+                const double dy = sender_pos[a].y - sender_pos[b].y;
+                const double dist = std::max(std::hypot(dx, dy), 1e-9);
+                const double sense_shadow =
+                    params.deterministic() ? 1.0 : shadow.sample(gen);
+                max_sensed = std::max(
+                    max_sensed, std::pow(dist, -params.alpha) * sense_shadow);
+            }
+        }
+
+        // Capacities.
+        double conc_total = 0.0, mux_total = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const double dx = receiver_pos[i].x - sender_pos[i].x;
+            const double dy = receiver_pos[i].y - sender_pos[i].y;
+            const double r = std::max(std::hypot(dx, dy), 1e-6);
+            const double signal =
+                std::pow(r, -params.alpha) * path_shadow[i][i];
+            double interference = 0.0;
+            for (int j = 0; j < n; ++j) {
+                if (j == i) continue;
+                const double ix = receiver_pos[i].x - sender_pos[j].x;
+                const double iy = receiver_pos[i].y - sender_pos[j].y;
+                const double dist = std::max(std::hypot(ix, iy), 1e-6);
+                interference +=
+                    std::pow(dist, -params.alpha) * path_shadow[i][j];
+            }
+            conc_total += capacity::shannon_bits_per_hz(
+                signal / (noise + interference));
+            mux_total += capacity::shannon_bits_per_hz(signal / noise) /
+                         static_cast<double>(n);
+        }
+        const double conc = conc_total / n;  // per-pair averages
+        const double mux = mux_total / n;
+        sum_conc += conc;
+        sum_mux += mux;
+        sum_opt += std::max(conc, mux);
+        for (std::size_t t = 0; t < d_thresholds.size(); ++t) {
+            const double p_thresh =
+                std::pow(d_thresholds[t], -params.alpha);
+            sum_cs[t] += (max_sensed > p_thresh) ? mux : conc;
+        }
+    }
+
+    std::vector<multi_sender_point> points;
+    const double count = static_cast<double>(samples);
+    for (std::size_t t = 0; t < d_thresholds.size(); ++t) {
+        multi_sender_point point;
+        point.senders = n;
+        point.rmax = rmax;
+        point.d = d;
+        point.multiplexing = sum_mux / count;
+        point.concurrent = sum_conc / count;
+        point.carrier_sense = sum_cs[t] / count;
+        point.optimal = sum_opt / count;
+        points.push_back(point);
+    }
+    return points;
+}
+
+multi_sender_point evaluate_multi_sender(const model_params& params,
+                                         int senders, double rmax, double d,
+                                         double d_thresh, std::size_t samples,
+                                         std::uint64_t seed) {
+    return evaluate_multi_sender_thresholds(params, senders, rmax, d,
+                                            {d_thresh}, samples, seed)
+        .front();
+}
+
+}  // namespace csense::core

@@ -1,0 +1,61 @@
+#include "src/core/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/capacity/shannon.hpp"
+#include "src/core/geometry.hpp"
+
+namespace csense::core {
+
+double snr_single(const model_params& params, double r, double shadow) {
+    if (!(r > 0.0)) throw std::domain_error("snr_single: r must be positive");
+    return std::pow(r, -params.alpha) * shadow / params.noise_linear();
+}
+
+double capacity_single(const model_params& params, double r, double shadow) {
+    return capacity::shannon_bits_per_hz(snr_single(params, r, shadow));
+}
+
+double capacity_multiplexing(const model_params& params, double r,
+                             double shadow) {
+    return 0.5 * capacity_single(params, r, shadow);
+}
+
+double sinr_concurrent(const model_params& params, double r, double theta,
+                       double d, double shadow_signal,
+                       double shadow_interference) {
+    if (!(r > 0.0)) throw std::domain_error("sinr_concurrent: r must be positive");
+    const double dr = interferer_distance(r, theta, d);
+    const double interference =
+        (dr > 0.0) ? shadow_interference * std::pow(dr, -params.alpha)
+                   : 1e30;  // receiver collocated with the interferer
+    const double signal = std::pow(r, -params.alpha) * shadow_signal;
+    return signal / (params.noise_linear() + interference);
+}
+
+double capacity_concurrent(const model_params& params, double r, double theta,
+                           double d, double shadow_signal,
+                           double shadow_interference) {
+    return capacity::shannon_bits_per_hz(sinr_concurrent(
+        params, r, theta, d, shadow_signal, shadow_interference));
+}
+
+double capacity_upper_bound(const model_params& params, double r, double theta,
+                            double d, double shadow_signal,
+                            double shadow_interference) {
+    return std::max(capacity_concurrent(params, r, theta, d, shadow_signal,
+                                        shadow_interference),
+                    capacity_multiplexing(params, r, shadow_signal));
+}
+
+double capacity_fixed_rate(double sinr_linear, double rate_bits_per_hz) {
+    if (rate_bits_per_hz < 0.0) {
+        throw std::domain_error("capacity_fixed_rate: negative rate");
+    }
+    const double required = capacity::snr_for_bits_per_hz(rate_bits_per_hz);
+    return (sinr_linear >= required) ? rate_bits_per_hz : 0.0;
+}
+
+}  // namespace csense::core

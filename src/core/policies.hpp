@@ -1,0 +1,51 @@
+// Point capacities of the four MAC policies (§3.2.2) for one receiver
+// configuration: no competition, time-division multiplexing, concurrent
+// transmission, and the pointwise upper bound on the optimal MAC.
+// Shadowing factors are passed explicitly (linear power factors, 1 when
+// disabled) so the same code serves the deterministic model, quadrature
+// over shadowing axes, and Monte Carlo sampling.
+#pragma once
+
+#include "src/core/model.hpp"
+
+namespace csense::core {
+
+/// C_single(r): log2(1 + r^-alpha * L / N). `shadow` is the linear
+/// shadowing factor L_sigma on the sender->receiver link.
+double capacity_single(const model_params& params, double r,
+                       double shadow = 1.0);
+
+/// C_multiplexing(r) = C_single(r) / 2: an ideal TDMA MAC splits time
+/// equally between the two senders.
+double capacity_multiplexing(const model_params& params, double r,
+                             double shadow = 1.0);
+
+/// C_concurrent(r, theta): log2(1 + r^-alpha L / (N + L' * dr^-alpha))
+/// where dr is the interferer-receiver distance for an interferer at
+/// distance `d` on the negative x-axis. `shadow_signal` is L on the
+/// signal path; `shadow_interference` is L' on the interference path.
+double capacity_concurrent(const model_params& params, double r, double theta,
+                           double d, double shadow_signal = 1.0,
+                           double shadow_interference = 1.0);
+
+/// C_UBmax pointwise: max(C_concurrent, C_multiplexing) for one receiver.
+double capacity_upper_bound(const model_params& params, double r, double theta,
+                            double d, double shadow_signal = 1.0,
+                            double shadow_interference = 1.0);
+
+/// SINR (linear) under concurrency for one receiver configuration.
+double sinr_concurrent(const model_params& params, double r, double theta,
+                       double d, double shadow_signal = 1.0,
+                       double shadow_interference = 1.0);
+
+/// SNR (linear) without competition.
+double snr_single(const model_params& params, double r, double shadow = 1.0);
+
+/// Fixed-bitrate "cookie cutter" capacity for the §3.3.2 ablation: the
+/// radio delivers exactly `rate_bits_per_hz` when the SINR meets the
+/// Shannon requirement for that rate, and nothing otherwise. This turns
+/// the smooth capacity gradient into the step that makes carrier sense
+/// look bad.
+double capacity_fixed_rate(double sinr_linear, double rate_bits_per_hz);
+
+}  // namespace csense::core

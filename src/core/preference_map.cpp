@@ -1,0 +1,87 @@
+#include "src/core/preference_map.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/policies.hpp"
+
+namespace csense::core {
+
+const preference_cell& preference_map::at(int ix, int iy) const {
+    if (ix < 0 || ix >= resolution || iy < 0 || iy >= resolution) {
+        throw std::out_of_range("preference_map::at");
+    }
+    return cells[static_cast<std::size_t>(iy) * resolution + ix];
+}
+
+preference_map build_preference_map(const model_params& params, double d,
+                                    double rmax, double extent, int resolution,
+                                    double starvation_fraction) {
+    if (resolution < 2 || !(extent > 0.0) || !(rmax > 0.0)) {
+        throw std::invalid_argument("build_preference_map: bad geometry");
+    }
+    model_params deterministic = params;
+    deterministic.sigma_db = 0.0;  // the figure's sigma = 0 convention
+    preference_map map;
+    map.extent = extent;
+    map.resolution = resolution;
+    map.d = d;
+    map.rmax = rmax;
+    map.cells.resize(static_cast<std::size_t>(resolution) * resolution);
+    const double step = 2.0 * extent / (resolution - 1);
+    for (int iy = 0; iy < resolution; ++iy) {
+        for (int ix = 0; ix < resolution; ++ix) {
+            auto& cell =
+                map.cells[static_cast<std::size_t>(iy) * resolution + ix];
+            cell.x = -extent + step * ix;
+            cell.y = -extent + step * iy;
+            const double r = std::hypot(cell.x, cell.y);
+            cell.inside = (r <= rmax) && (r > 0.0);
+            if (r <= 0.0) continue;
+            const double theta = std::atan2(cell.y, cell.x);
+            cell.capacity_concurrent =
+                capacity_concurrent(deterministic, r, theta, d);
+            cell.capacity_multiplexing =
+                capacity_multiplexing(deterministic, r);
+            const double ub =
+                std::max(cell.capacity_concurrent, cell.capacity_multiplexing);
+            if (cell.capacity_concurrent >= cell.capacity_multiplexing) {
+                cell.preference = receiver_preference::concurrency;
+            } else if (cell.capacity_concurrent < starvation_fraction * ub) {
+                cell.preference = receiver_preference::starved_multiplexing;
+            } else {
+                cell.preference = receiver_preference::multiplexing;
+            }
+        }
+    }
+    return map;
+}
+
+preference_summary summarize(const preference_map& map) {
+    preference_summary summary;
+    for (const auto& cell : map.cells) {
+        if (!cell.inside) continue;
+        ++summary.cells_inside;
+        switch (cell.preference) {
+            case receiver_preference::concurrency:
+                summary.fraction_concurrency += 1.0;
+                break;
+            case receiver_preference::multiplexing:
+                summary.fraction_multiplexing += 1.0;
+                break;
+            case receiver_preference::starved_multiplexing:
+                summary.fraction_multiplexing += 1.0;
+                summary.fraction_starved += 1.0;
+                break;
+        }
+    }
+    if (summary.cells_inside > 0) {
+        const double n = summary.cells_inside;
+        summary.fraction_concurrency /= n;
+        summary.fraction_multiplexing /= n;
+        summary.fraction_starved /= n;
+    }
+    return summary;
+}
+
+}  // namespace csense::core

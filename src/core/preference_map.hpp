@@ -1,0 +1,57 @@
+// Receiver preference regions (Figure 3): for each candidate receiver
+// position, does it prefer concurrency or multiplexing, and if it needs
+// multiplexing, would concurrency starve it (< 10% of C_UBmax)?
+// Computed on the sigma = 0 model, like the figure.
+#pragma once
+
+#include <vector>
+
+#include "src/core/model.hpp"
+
+namespace csense::core {
+
+/// Classification of one receiver position.
+enum class receiver_preference {
+    concurrency,            ///< C_conc >= C_mux (dark region)
+    multiplexing,           ///< C_mux > C_conc (light region)
+    starved_multiplexing,   ///< prefers mux and C_conc < 10% C_UBmax (white)
+};
+
+/// One cell of the preference map.
+struct preference_cell {
+    double x = 0.0;
+    double y = 0.0;
+    bool inside = false;  ///< within Rmax of the sender
+    receiver_preference preference = receiver_preference::concurrency;
+    double capacity_concurrent = 0.0;
+    double capacity_multiplexing = 0.0;
+};
+
+/// Grid map over [-extent, extent]^2 with `resolution` cells per side.
+struct preference_map {
+    double extent = 0.0;
+    int resolution = 0;
+    double d = 0.0;
+    double rmax = 0.0;
+    std::vector<preference_cell> cells;  ///< row-major, y outer
+
+    const preference_cell& at(int ix, int iy) const;
+};
+
+/// Build the Figure 3 map for interferer distance `d` and network range
+/// `rmax`. `starvation_fraction` is the 10% C_UBmax cutoff.
+preference_map build_preference_map(const model_params& params, double d,
+                                    double rmax, double extent, int resolution,
+                                    double starvation_fraction = 0.1);
+
+/// Aggregate statistics over the in-range cells of a map.
+struct preference_summary {
+    double fraction_concurrency = 0.0;
+    double fraction_multiplexing = 0.0;  ///< includes starved
+    double fraction_starved = 0.0;
+    int cells_inside = 0;
+};
+
+preference_summary summarize(const preference_map& map);
+
+}  // namespace csense::core

@@ -1,0 +1,53 @@
+#include "src/core/regimes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csense::core {
+
+std::string_view regime_name(network_regime regime) noexcept {
+    switch (regime) {
+        case network_regime::short_range: return "short range";
+        case network_regime::transition: return "transition";
+        case network_regime::long_range: return "long range";
+        case network_regime::extreme_long_range: return "extreme long range";
+    }
+    return "?";
+}
+
+double edge_snr_db(const model_params& params, double r) {
+    if (!(r > 0.0)) throw std::domain_error("edge_snr_db: r must be positive");
+    return -10.0 * params.alpha * std::log10(r) - params.noise_db;
+}
+
+double rmax_for_edge_snr(const model_params& params, double snr_db) {
+    return std::pow(10.0, (-params.noise_db - snr_db) / (10.0 * params.alpha));
+}
+
+regime_report classify_with_threshold(const model_params& params, double rmax,
+                                      const threshold_result& threshold) {
+    regime_report report;
+    report.rmax = rmax;
+    report.edge_snr_db = edge_snr_db(params, rmax);
+    if (!threshold.found) {
+        report.regime = network_regime::extreme_long_range;
+        report.optimal_threshold = 0.0;
+        return report;
+    }
+    report.optimal_threshold = threshold.d_thresh;
+    if (threshold.d_thresh > 2.0 * rmax) {
+        report.regime = network_regime::short_range;
+    } else if (threshold.d_thresh < rmax) {
+        report.regime = network_regime::long_range;
+    } else {
+        report.regime = network_regime::transition;
+    }
+    return report;
+}
+
+regime_report classify_network(const expectation_engine& engine, double rmax) {
+    return classify_with_threshold(engine.params(), rmax,
+                                   optimal_threshold(engine, rmax));
+}
+
+}  // namespace csense::core

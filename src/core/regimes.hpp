@@ -1,0 +1,49 @@
+// Behavioral regimes (§3.3.3): a network is "short range" when its
+// optimal threshold lies well outside the network (R_thresh > 2 Rmax) -
+// interference smothers everything before any differential impact - and
+// "long range" when the optimal threshold lies inside the network
+// (R_thresh < Rmax), so interference is local and some receivers can be
+// starved. The crossover band corresponds to the 10-25 dB edge-SNR
+// "sweet spot" that commodity hardware targets.
+#pragma once
+
+#include <string_view>
+
+#include "src/core/expected.hpp"
+#include "src/core/threshold.hpp"
+
+namespace csense::core {
+
+enum class network_regime {
+    short_range,       ///< R_thresh > 2 Rmax: CS nearly optimal, fair
+    transition,        ///< Rmax < R_thresh < 2 Rmax
+    long_range,        ///< R_thresh < Rmax: good average, fairness risk
+    extreme_long_range,///< concurrency unconditionally optimal (fn. 11)
+};
+
+std::string_view regime_name(network_regime regime) noexcept;
+
+/// Full classification result.
+struct regime_report {
+    network_regime regime = network_regime::transition;
+    double rmax = 0.0;
+    double optimal_threshold = 0.0;  ///< 0 in extreme long range
+    double edge_snr_db = 0.0;        ///< SNR at the network edge
+};
+
+/// SNR in dB at distance r from a sender (no shadowing): the edge SNR
+/// that §3.3.4 maps regimes onto (12-27 dB spans the transition at
+/// alpha = 3, N = -65 dB).
+double edge_snr_db(const model_params& params, double r);
+
+/// Network range whose edge SNR equals `snr_db`.
+double rmax_for_edge_snr(const model_params& params, double snr_db);
+
+/// Classify a network of range rmax by computing its optimal threshold.
+regime_report classify_network(const expectation_engine& engine, double rmax);
+
+/// Classification given a precomputed threshold (avoids recomputation).
+regime_report classify_with_threshold(const model_params& params, double rmax,
+                                      const threshold_result& threshold);
+
+}  // namespace csense::core

@@ -1,0 +1,65 @@
+#include "src/core/shadowing_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/geometry.hpp"
+#include "src/stats/distributions.hpp"
+
+namespace csense::core {
+
+double snr_estimate_sigma_db(const model_params& params) {
+    return params.sigma_db * std::sqrt(3.0);
+}
+
+double spurious_concurrency_probability(const model_params& params,
+                                        double apparent_d, double d_thresh,
+                                        double relative_sigma_factor) {
+    if (!(apparent_d > 0.0) || !(d_thresh > 0.0)) {
+        throw std::domain_error("spurious_concurrency_probability: distances");
+    }
+    if (params.deterministic()) {
+        return (apparent_d < d_thresh) ? 0.0 : 1.0;
+    }
+    // Sensed power appears below threshold when the sensing-path shadow
+    // (relative to the receiver's view) loses more than the dB margin
+    // between the apparent distance and the threshold distance.
+    const double margin_db =
+        10.0 * params.alpha * std::log10(d_thresh / apparent_d);
+    const double sigma = params.sigma_db * relative_sigma_factor;
+    return stats::normal_cdf(-margin_db / sigma);
+}
+
+double spurious_multiplexing_probability(const model_params& params,
+                                         double apparent_d, double d_thresh,
+                                         double relative_sigma_factor) {
+    if (!(apparent_d > 0.0) || !(d_thresh > 0.0)) {
+        throw std::domain_error("spurious_multiplexing_probability: distances");
+    }
+    if (params.deterministic()) {
+        return (apparent_d >= d_thresh) ? 0.0 : 1.0;
+    }
+    const double margin_db =
+        10.0 * params.alpha * std::log10(apparent_d / d_thresh);
+    const double sigma = params.sigma_db * relative_sigma_factor;
+    return stats::normal_cdf(-margin_db / sigma);
+}
+
+severe_outcome severe_outcome_probability(const model_params& params,
+                                          double apparent_d, double d_thresh,
+                                          double rmax) {
+    severe_outcome outcome;
+    outcome.p_spurious_concurrency =
+        spurious_concurrency_probability(params, apparent_d, d_thresh);
+    outcome.fraction_vulnerable =
+        disc_fraction_closer_to_interferer(apparent_d, rmax);
+    outcome.p_severe =
+        outcome.p_spurious_concurrency * outcome.fraction_vulnerable;
+    return outcome;
+}
+
+double db_to_distance_factor(const model_params& params, double db) {
+    return std::pow(10.0, db / (10.0 * params.alpha));
+}
+
+}  // namespace csense::core

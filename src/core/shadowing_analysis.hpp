@@ -1,0 +1,55 @@
+// §3.4's quantitative shadowing arguments:
+//  - the sender's SNR-estimate uncertainty grows as sigma * sqrt(3)
+//    (signal, interference, and sensing shadows are all independent);
+//  - carrier sense mistakes: the probability that an interferer whose
+//    interference corresponds to apparent distance D_app is nevertheless
+//    sensed beyond the threshold (spurious concurrency), with the
+//    sensing path shadowed independently of the receiver's view
+//    (relative uncertainty sigma * sqrt(2));
+//  - the worked example: Rmax = 20, D_thresh = 40, interferer apparent at
+//    D = 20 -> ~20% spurious concurrency, ~20% of receivers critically
+//    close, ~4% of configurations with very poor SNR.
+#pragma once
+
+#include "src/core/model.hpp"
+
+namespace csense::core {
+
+/// Pessimistic dB uncertainty of a sender's estimate of its receiver's
+/// SINR: the three shadowing effects summed, sigma * sqrt(3).
+double snr_estimate_sigma_db(const model_params& params);
+
+/// Probability that carrier sense chooses concurrency although the
+/// interferer *appears* (to the receiver) to be at distance `apparent_d`
+/// inside the threshold. The sensed power carries a shadow independent
+/// of the receiver's, so the relative dB uncertainty between the two
+/// views is sigma * sqrt(2) by default; passing
+/// relative_sigma_factor = 1 instead treats the apparent distance as the
+/// true geometric distance.
+double spurious_concurrency_probability(const model_params& params,
+                                        double apparent_d, double d_thresh,
+                                        double relative_sigma_factor = 1.4142135623730951);
+
+/// Probability that carrier sense defers although the interferer appears
+/// beyond the threshold (spurious multiplexing) - the mirror image.
+double spurious_multiplexing_probability(const model_params& params,
+                                         double apparent_d, double d_thresh,
+                                         double relative_sigma_factor = 1.4142135623730951);
+
+/// The §3.4 worked example, combining the sensing mistake with the
+/// fraction of receivers close enough to be badly hurt.
+struct severe_outcome {
+    double p_spurious_concurrency = 0.0; ///< ~0.20 in the example
+    double fraction_vulnerable = 0.0;    ///< ~0.20 in the example
+    double p_severe = 0.0;               ///< product, ~0.04
+};
+
+severe_outcome severe_outcome_probability(const model_params& params,
+                                          double apparent_d, double d_thresh,
+                                          double rmax);
+
+/// Equivalent distance factor of a dB variation under path loss alpha:
+/// 10^(db / (10 alpha)). §3.4 quotes 14 dB ~ 3x at alpha = 3.
+double db_to_distance_factor(const model_params& params, double db);
+
+}  // namespace csense::core

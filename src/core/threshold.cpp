@@ -1,0 +1,71 @@
+#include "src/core/threshold.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/solve.hpp"
+
+namespace csense::core {
+
+threshold_result optimal_threshold(const expectation_engine& engine,
+                                   double rmax, double d_hint_hi) {
+    if (!(rmax > 0.0)) throw std::domain_error("optimal_threshold: rmax");
+    const double mux = engine.expected_multiplexing(rmax);
+    auto gap = [&](double d) {
+        return engine.expected_concurrent(rmax, d) - mux;
+    };
+    // <C_conc> increases monotonically with D: bracket the crossing.
+    double lo = 1e-3 * rmax;
+    if (gap(lo) > 0.0) {
+        // Concurrency wins even with a collocated interferer: the
+        // "extreme long range" regime; no finite threshold is optimal.
+        return {0.0, mux, false};
+    }
+    double hi = (d_hint_hi > lo) ? d_hint_hi : 4.0 * rmax;
+    int expansions = 0;
+    while (gap(hi) < 0.0) {
+        hi *= 2.0;
+        if (++expansions > 40) {
+            throw std::runtime_error(
+                "optimal_threshold: concurrency never catches multiplexing");
+        }
+    }
+    const auto root = stats::find_root(gap, lo, hi, 1e-9 * hi);
+    return {root.x, mux, true};
+}
+
+double equivalent_distance_alpha3(double d_thresh, double alpha) {
+    if (!(d_thresh > 0.0) || !(alpha > 0.0)) {
+        throw std::domain_error("equivalent_distance_alpha3");
+    }
+    // Same sensed power: D_eq^-3 = D^-alpha  =>  D_eq = D^(alpha/3).
+    return std::pow(d_thresh, alpha / 3.0);
+}
+
+double threshold_power_db(double d_thresh, double alpha) {
+    if (!(d_thresh > 0.0)) throw std::domain_error("threshold_power_db");
+    return -10.0 * alpha * std::log10(d_thresh);
+}
+
+double threshold_distance_from_power_db(double p_thresh_db, double alpha) {
+    if (!(alpha > 0.0)) throw std::domain_error("threshold_distance_from_power_db");
+    return std::pow(10.0, -p_thresh_db / (10.0 * alpha));
+}
+
+double short_range_threshold_asymptote(const model_params& params, double rmax) {
+    if (!(rmax > 0.0)) throw std::domain_error("short_range_threshold_asymptote");
+    return std::exp(-0.25) * std::sqrt(rmax) *
+           std::pow(params.noise_linear(), -0.5 / params.alpha);
+}
+
+double compromise_threshold(const expectation_engine& engine, double rmax_short,
+                            double rmax_long) {
+    const auto lo = optimal_threshold(engine, rmax_short);
+    const auto hi = optimal_threshold(engine, rmax_long);
+    if (!lo.found || !hi.found) {
+        throw std::runtime_error("compromise_threshold: no optimum at an endpoint");
+    }
+    return std::sqrt(lo.d_thresh * hi.d_thresh);
+}
+
+}  // namespace csense::core

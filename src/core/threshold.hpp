@@ -1,0 +1,51 @@
+// Carrier-sense threshold selection (§3.3.3): the average-throughput-
+// optimal threshold distance is the D at which the concurrency and
+// multiplexing curves cross; below it multiplexing wins on average, above
+// it concurrency does. Includes the alpha = 3 equivalent-distance
+// convention of Figure 7 and the short-range asymptote of footnote 13.
+#pragma once
+
+#include <optional>
+
+#include "src/core/expected.hpp"
+
+namespace csense::core {
+
+/// Result of a threshold search.
+struct threshold_result {
+    double d_thresh = 0.0;      ///< threshold distance (actual units)
+    double crossing_value = 0.0;///< <C_mux> = <C_conc> at the crossing
+    bool found = true;          ///< false in the "extreme long range"
+                                ///< regime where concurrency always wins
+};
+
+/// Optimal threshold distance for a network of range Rmax: solves
+/// <C_conc>(Rmax, D) = <C_mux>(Rmax) for D by Brent's method. When
+/// concurrency beats multiplexing even at D -> 0 (the CDMA-like regime of
+/// footnote 11), `found` is false and d_thresh is 0.
+threshold_result optimal_threshold(const expectation_engine& engine,
+                                   double rmax, double d_hint_hi = 0.0);
+
+/// Convert a threshold distance under exponent `alpha` to the
+/// equivalent distance at alpha = 3 (Figure 7's vertical axis):
+/// both describe the same sensed power P = D^-alpha.
+double equivalent_distance_alpha3(double d_thresh, double alpha);
+
+/// Sensed-power threshold (dB, normalized units) for a threshold
+/// distance: P_thresh_db = -10 * alpha * log10(D_thresh).
+double threshold_power_db(double d_thresh, double alpha);
+
+/// Inverse of threshold_power_db.
+double threshold_distance_from_power_db(double p_thresh_db, double alpha);
+
+/// Footnote 13's closed-form short-range limit (actual distance units):
+/// D_thresh ~ e^{-1/4} * Rmax^{1/2} * N^{-1/(2 alpha)}.
+double short_range_threshold_asymptote(const model_params& params, double rmax);
+
+/// The thesis' factory-default recommendation (§3.3.3): the midpoint (in
+/// log-distance) between the optimal thresholds at the hardware's
+/// shortest and longest useful network ranges.
+double compromise_threshold(const expectation_engine& engine, double rmax_short,
+                            double rmax_long);
+
+}  // namespace csense::core

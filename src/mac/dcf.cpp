@@ -1,0 +1,390 @@
+#include "src/mac/dcf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csense::mac {
+
+using capacity::ofdm_timing;
+
+namespace {
+/// Scheduling slack added to response timeouts.
+constexpr sim::time_us timeout_margin_us = 10.0;
+}  // namespace
+
+dcf_node::dcf_node(sim::simulator& sim, medium& med, mac_config config,
+                   std::uint64_t seed)
+    : sim_(sim), medium_(med), config_(config), id_(med.add_node(*this)),
+      rng_(seed), control_rate_(&capacity::rate_by_mbps(6.0)),
+      cw_(config.cw_min) {
+    if (config_.cw_min < 1 || config_.cw_max < config_.cw_min) {
+        throw std::invalid_argument("dcf_node: bad contention window");
+    }
+}
+
+void dcf_node::set_traffic(traffic_mode mode, node_id destination,
+                           const capacity::phy_rate& rate, int payload_bytes) {
+    if (payload_bytes <= 0) throw std::invalid_argument("dcf_node: payload");
+    traffic_ = mode;
+    destination_ = destination;
+    data_rate_ = &rate;
+    payload_bytes_ = payload_bytes;
+}
+
+void dcf_node::set_rate_adaptation(capacity::rate_adaptation* adapter) {
+    adaptation_ = adapter;
+}
+
+void dcf_node::start() {
+    if (traffic_ == traffic_mode::none) return;
+    state_ = state::contending;
+    new_packet();
+    reevaluate();
+}
+
+bool dcf_node::sense_enabled() const noexcept {
+    return config_.sense != cs_mode::disabled;
+}
+
+bool dcf_node::rts_active() const {
+    return config_.use_rts_cts ||
+           (config_.adaptive_rts_cts && heuristic_rts_on_);
+}
+
+bool dcf_node::channel_busy() const {
+    if (!sense_enabled()) return false;
+    const sim::time_us now = sim_.now();
+    if (now < nav_until_) return true;
+    const bool energy_mode = config_.sense == cs_mode::energy ||
+                             config_.sense == cs_mode::energy_and_preamble;
+    if (energy_mode && energy_busy_) return true;
+    const bool preamble_mode = config_.sense == cs_mode::preamble ||
+                               config_.sense == cs_mode::energy_and_preamble;
+    if (preamble_mode && now < preamble_busy_until_) return true;
+    return false;
+}
+
+void dcf_node::cancel_timer() {
+    ++timer_generation_;
+    difs_done_ = false;
+}
+
+void dcf_node::schedule_timer(sim::time_us delay,
+                              void (dcf_node::*handler)()) {
+    const std::uint64_t generation = ++timer_generation_;
+    sim_.schedule_in(delay, [this, generation, handler] {
+        if (generation == timer_generation_) (this->*handler)();
+    });
+}
+
+void dcf_node::reevaluate() {
+    if (state_ != state::contending || !have_packet_) return;
+    if (channel_busy()) {
+        cancel_timer();
+        return;
+    }
+    if (medium_.transmitting(id_)) return;  // a response frame is on the air
+    if (!difs_done_) {
+        schedule_timer(ofdm_timing::difs_us, &dcf_node::on_difs_end);
+    }
+}
+
+void dcf_node::on_difs_end() {
+    if (state_ != state::contending || channel_busy()) return;
+    if (medium_.transmitting(id_)) return;  // response frame on the air
+    difs_done_ = true;
+    if (slots_left_ == 0) {
+        begin_transmission();
+        return;
+    }
+    schedule_timer(ofdm_timing::slot_us, &dcf_node::on_slot);
+}
+
+void dcf_node::on_slot() {
+    if (state_ != state::contending || channel_busy()) return;
+    if (medium_.transmitting(id_)) return;  // response frame on the air
+    if (--slots_left_ <= 0) {
+        begin_transmission();
+        return;
+    }
+    schedule_timer(ofdm_timing::slot_us, &dcf_node::on_slot);
+}
+
+frame dcf_node::make_data_frame() {
+    frame f;
+    f.kind = frame_kind::data;
+    f.src = id_;
+    f.dst = (traffic_ == traffic_mode::saturated_broadcast) ? broadcast_id
+                                                            : destination_;
+    f.bytes = payload_bytes_;
+    f.rate = packet_rate_;
+    f.sequence = frame_sequence_;
+    return f;
+}
+
+frame dcf_node::make_control_frame(frame_kind kind, node_id dst,
+                                   double nav_duration_us) {
+    frame f;
+    f.kind = kind;
+    f.src = id_;
+    f.dst = dst;
+    f.rate = control_rate_;
+    switch (kind) {
+        case frame_kind::rts: f.bytes = control_frames::rts_bytes; break;
+        case frame_kind::cts: f.bytes = control_frames::cts_bytes; break;
+        case frame_kind::ack: f.bytes = control_frames::ack_bytes; break;
+        case frame_kind::data:
+            throw std::logic_error("make_control_frame: data");
+    }
+    f.sequence = frame_sequence_;
+    f.nav_duration_us = nav_duration_us;
+    return f;
+}
+
+double dcf_node::exchange_nav_us(const capacity::phy_rate& data_rate) const {
+    // From the end of an RTS: CTS + data + ACK with three SIFS gaps.
+    return 3.0 * ofdm_timing::sifs_us +
+           capacity::frame_airtime_us(*control_rate_,
+                                      control_frames::cts_bytes) +
+           capacity::frame_airtime_us(data_rate, payload_bytes_) +
+           capacity::frame_airtime_us(*control_rate_,
+                                      control_frames::ack_bytes);
+}
+
+const capacity::phy_rate& dcf_node::current_data_rate() {
+    if (adaptation_ != nullptr && traffic_ == traffic_mode::saturated_unicast) {
+        return adaptation_->next_rate();
+    }
+    return *data_rate_;
+}
+
+void dcf_node::new_packet() {
+    have_packet_ = true;
+    retries_ = 0;
+    cw_ = config_.cw_min;
+    ++frame_sequence_;
+    packet_rate_ = &current_data_rate();
+    slots_left_ = static_cast<int>(rng_.uniform_int(
+        static_cast<std::uint64_t>(cw_) + 1));
+    difs_done_ = false;
+}
+
+void dcf_node::retry_packet() {
+    ++retries_;
+    if (retries_ > config_.retry_limit) {
+        ++stats_.data_dropped;
+        packet_done(false);
+        return;
+    }
+    cw_ = std::min(2 * (cw_ + 1) - 1, config_.cw_max);
+    slots_left_ = static_cast<int>(rng_.uniform_int(
+        static_cast<std::uint64_t>(cw_) + 1));
+    difs_done_ = false;
+    packet_rate_ = &current_data_rate();  // adaptation may back off the rate
+    state_ = state::contending;
+    reevaluate();
+}
+
+void dcf_node::packet_done(bool delivered) {
+    (void)delivered;
+    have_packet_ = false;
+    state_ = state::contending;
+    if (traffic_ != traffic_mode::none) {
+        new_packet();  // saturated sources always have a next packet
+        reevaluate();
+    }
+}
+
+void dcf_node::begin_transmission() {
+    cancel_timer();
+    if (rts_active() && traffic_ == traffic_mode::saturated_unicast) {
+        // NAV runs from the end of the RTS: CTS + DATA + ACK + 3 SIFS.
+        frame rts = make_control_frame(frame_kind::rts, destination_,
+                                       exchange_nav_us(*packet_rate_));
+        ++stats_.rts_sent;
+        transmit_frame(rts);
+        return;
+    }
+    transmit_frame(make_data_frame());
+}
+
+void dcf_node::transmit_frame(const frame& f) {
+    state_ = state::transmitting;
+    medium_.start_transmission(id_, f, sense_enabled());
+}
+
+void dcf_node::start_response_timeout(state waiting_state,
+                                      sim::time_us timeout) {
+    state_ = waiting_state;
+    const std::uint64_t generation = ++timer_generation_;
+    sim_.schedule_in(timeout, [this, generation] {
+        if (generation != timer_generation_) return;
+        if (state_ == state::awaiting_cts || state_ == state::awaiting_ack) {
+            note_unicast_outcome(false);
+            retry_packet();
+        }
+    });
+}
+
+void dcf_node::note_unicast_outcome(bool delivered) {
+    if (traffic_ != traffic_mode::saturated_unicast) return;
+    if (adaptation_ != nullptr && packet_rate_ != nullptr) {
+        adaptation_->report(*packet_rate_, delivered,
+                            capacity::frame_airtime_us(*packet_rate_,
+                                                       payload_bytes_));
+    }
+    if (config_.adaptive_rts_cts) {
+        constexpr double weight = 0.1;
+        loss_ewma_ = (1.0 - weight) * loss_ewma_ + weight * (delivered ? 0.0 : 1.0);
+        const double snr_db = medium_.rx_power_dbm(destination_, id_) -
+                              medium_.radio().noise_floor_dbm;
+        heuristic_rts_on_ = loss_ewma_ > config_.rts_loss_threshold &&
+                            snr_db >= config_.rts_snr_threshold_db;
+    }
+}
+
+void dcf_node::on_channel_update(double external_power_dbm) {
+    const double threshold =
+        medium_.radio().cs_threshold_dbm + config_.cs_threshold_offset_db;
+    const bool busy = external_power_dbm >= threshold;
+    if (busy != energy_busy_) {
+        energy_busy_ = busy;
+        if (busy && state_ == state::contending && difs_done_) {
+            ++stats_.defer_events;
+        }
+        reevaluate();
+    }
+}
+
+void dcf_node::on_preamble(const frame&, double, sim::time_us until) {
+    const bool preamble_mode = config_.sense == cs_mode::preamble ||
+                               config_.sense == cs_mode::energy_and_preamble;
+    if (!preamble_mode) return;  // this radio's CCA ignores preambles
+    if (until > preamble_busy_until_) {
+        preamble_busy_until_ = until;
+        if (state_ == state::contending && difs_done_) ++stats_.defer_events;
+        reevaluate();
+        // Wake up when the frame ends to resume contention; reevaluate is
+        // idempotent, so an unconditional wake-up is safe.
+        sim_.schedule_at(until, [this] { reevaluate(); });
+    }
+}
+
+void dcf_node::on_frame_received(const frame& f, double, double,
+                                 bool decoded) {
+    if (f.kind == frame_kind::data) {
+        if (decoded) {
+            ++stats_.rx_data_decoded;
+            ++stats_.rx_decoded_by_src[f.src];
+        } else {
+            ++stats_.rx_data_lost;
+        }
+    }
+    if (!decoded) return;
+
+    const bool for_me = (f.dst == id_);
+    switch (f.kind) {
+        case frame_kind::data:
+            if (for_me) {
+                // ACK after SIFS, bypassing carrier sense (802.11 ACKs own
+                // the SIFS priority window).
+                pending_response_ =
+                    make_control_frame(frame_kind::ack, f.src, 0.0);
+                response_queued_ = true;
+                sim_.schedule_in(ofdm_timing::sifs_us, [this] {
+                    if (response_queued_ && !medium_.transmitting(id_)) {
+                        response_queued_ = false;
+                        ++stats_.acks_sent;
+                        medium_.start_transmission(id_, pending_response_,
+                                                   false);
+                    }
+                });
+            }
+            break;
+        case frame_kind::rts:
+            if (for_me && !medium_.transmitting(id_)) {
+                pending_response_ = make_control_frame(
+                    frame_kind::cts, f.src,
+                    f.nav_duration_us -
+                        capacity::frame_airtime_us(
+                            *control_rate_, control_frames::cts_bytes) -
+                        ofdm_timing::sifs_us);
+                response_queued_ = true;
+                sim_.schedule_in(ofdm_timing::sifs_us, [this] {
+                    if (response_queued_ && !medium_.transmitting(id_)) {
+                        response_queued_ = false;
+                        ++stats_.cts_sent;
+                        medium_.start_transmission(id_, pending_response_,
+                                                   false);
+                    }
+                });
+            } else if (!for_me && sense_enabled()) {
+                nav_until_ = std::max(nav_until_, sim_.now() + f.nav_duration_us);
+                reevaluate();
+                sim_.schedule_at(nav_until_, [this] { reevaluate(); });
+            }
+            break;
+        case frame_kind::cts:
+            if (for_me && state_ == state::awaiting_cts) {
+                // Protected: send the data frame after SIFS.
+                ++timer_generation_;  // cancel the CTS timeout
+                state_ = state::responding;
+                sim_.schedule_in(ofdm_timing::sifs_us, [this] {
+                    if (state_ == state::responding &&
+                        !medium_.transmitting(id_)) {
+                        transmit_frame(make_data_frame());
+                    }
+                });
+            } else if (!for_me && sense_enabled()) {
+                nav_until_ = std::max(nav_until_, sim_.now() + f.nav_duration_us);
+                reevaluate();
+                sim_.schedule_at(nav_until_, [this] { reevaluate(); });
+            }
+            break;
+        case frame_kind::ack:
+            if (for_me && state_ == state::awaiting_ack) {
+                ++timer_generation_;  // cancel the ACK timeout
+                ++stats_.data_acked;
+                note_unicast_outcome(true);
+                packet_done(true);
+            }
+            break;
+    }
+}
+
+void dcf_node::on_tx_complete(const frame& f) {
+    switch (f.kind) {
+        case frame_kind::data:
+            ++stats_.data_sent;
+            if (traffic_ == traffic_mode::saturated_broadcast) {
+                packet_done(true);
+            } else {
+                const sim::time_us timeout =
+                    ofdm_timing::sifs_us +
+                    capacity::frame_airtime_us(*control_rate_,
+                                               control_frames::ack_bytes) +
+                    timeout_margin_us;
+                start_response_timeout(state::awaiting_ack, timeout);
+            }
+            break;
+        case frame_kind::rts: {
+            const sim::time_us timeout =
+                ofdm_timing::sifs_us +
+                capacity::frame_airtime_us(*control_rate_,
+                                           control_frames::cts_bytes) +
+                timeout_margin_us;
+            start_response_timeout(state::awaiting_cts, timeout);
+            break;
+        }
+        case frame_kind::cts:
+        case frame_kind::ack:
+            // Response sent; resume our own contention if any.
+            if (state_ == state::contending && have_packet_) {
+                difs_done_ = false;
+                reevaluate();
+            }
+            break;
+    }
+}
+
+}  // namespace csense::mac

@@ -1,0 +1,144 @@
+// An 802.11-style DCF node: slotted CSMA/CA with DIFS + binary-exponential
+// backoff, broadcast (no-ACK) and unicast (ACK, retry) traffic, optional
+// RTS/CTS with NAV, and the §5 heuristic that turns RTS/CTS on only when
+// a link shows high loss despite high RSSI. Carrier sense is pluggable
+// per node (disabled / energy / preamble / both), matching the thesis'
+// experimental modes and its implementation-pathology discussion.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/capacity/rate_adaptation.hpp"
+#include "src/mac/medium.hpp"
+#include "src/mac/wireless_config.hpp"
+
+namespace csense::mac {
+
+/// What the node transmits.
+enum class traffic_mode {
+    none,                ///< pure receiver
+    saturated_broadcast, ///< the thesis' §4 measurement traffic
+    saturated_unicast,   ///< ACKed data to a fixed destination
+};
+
+/// Per-node MAC statistics.
+struct node_stats {
+    std::uint64_t data_sent = 0;       ///< data frames put on the air
+    std::uint64_t data_acked = 0;      ///< unicast frames acknowledged
+    std::uint64_t data_dropped = 0;    ///< unicast frames over retry limit
+    std::uint64_t rts_sent = 0;
+    std::uint64_t cts_sent = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t defer_events = 0;    ///< contention frozen by a busy channel
+    std::uint64_t rx_data_decoded = 0; ///< data frames decoded here
+    std::uint64_t rx_data_lost = 0;    ///< locked receptions that failed
+    std::unordered_map<node_id, std::uint64_t> rx_decoded_by_src;
+};
+
+/// One DCF station.
+class dcf_node final : public medium_listener {
+public:
+    /// Creates the node and registers it with the medium.
+    dcf_node(sim::simulator& sim, medium& med, mac_config config,
+             std::uint64_t seed);
+
+    node_id id() const noexcept { return id_; }
+    const node_stats& stats() const noexcept { return stats_; }
+    const mac_config& config() const noexcept { return config_; }
+
+    /// Configure traffic. `rate` is the data rate (control frames go at
+    /// 6 Mb/s). Must be called before the simulation starts.
+    void set_traffic(traffic_mode mode, node_id destination,
+                     const capacity::phy_rate& rate, int payload_bytes);
+
+    /// Optional rate adaptation (unicast only; overrides the fixed rate).
+    /// The adapter must outlive the node.
+    void set_rate_adaptation(capacity::rate_adaptation* adapter);
+
+    /// Begin contending (call once, at simulation start).
+    void start();
+
+    /// True if this node currently considers RTS/CTS active for its
+    /// destination (static config or triggered heuristic).
+    bool rts_active() const;
+
+    // medium_listener interface.
+    void on_channel_update(double external_power_dbm) override;
+    void on_preamble(const frame& f, double rx_power_dbm,
+                     sim::time_us until) override;
+    void on_frame_received(const frame& f, double rx_power_dbm,
+                           double min_sinr_db, bool decoded) override;
+    void on_tx_complete(const frame& f) override;
+
+private:
+    enum class state {
+        idle,          ///< no packet (traffic_mode::none)
+        contending,    ///< waiting for DIFS + backoff
+        transmitting,  ///< own frame on the air
+        awaiting_cts,
+        awaiting_ack,
+        responding,    ///< SIFS gap before CTS/ACK/data-after-CTS
+    };
+
+    bool sense_enabled() const noexcept;
+    bool channel_busy() const;
+    void reevaluate();
+    void cancel_timer();
+    void schedule_timer(sim::time_us delay, void (dcf_node::*handler)());
+    void on_difs_end();
+    void on_slot();
+    void begin_transmission();
+    void transmit_frame(const frame& f);
+    void new_packet();
+    void packet_done(bool delivered);
+    void retry_packet();
+    void start_response_timeout(state waiting_state, sim::time_us timeout);
+    frame make_data_frame();
+    frame make_control_frame(frame_kind kind, node_id dst,
+                             double nav_duration_us);
+    double exchange_nav_us(const capacity::phy_rate& data_rate) const;
+    const capacity::phy_rate& current_data_rate();
+    void note_unicast_outcome(bool delivered);
+
+    sim::simulator& sim_;
+    medium& medium_;
+    mac_config config_;
+    node_id id_;
+    stats::rng rng_;
+    node_stats stats_;
+
+    // Traffic.
+    traffic_mode traffic_ = traffic_mode::none;
+    node_id destination_ = broadcast_id;
+    const capacity::phy_rate* data_rate_ = nullptr;
+    const capacity::phy_rate* control_rate_ = nullptr;
+    int payload_bytes_ = 1400;
+    capacity::rate_adaptation* adaptation_ = nullptr;
+
+    // Channel state.
+    bool energy_busy_ = false;
+    sim::time_us preamble_busy_until_ = 0.0;
+    sim::time_us nav_until_ = 0.0;
+
+    // Contention state.
+    state state_ = state::idle;
+    bool have_packet_ = false;
+    int slots_left_ = 0;
+    int cw_ = 15;
+    int retries_ = 0;
+    bool difs_done_ = false;
+    std::uint64_t timer_generation_ = 0;
+    std::uint64_t frame_sequence_ = 0;
+    const capacity::phy_rate* packet_rate_ = nullptr;
+
+    // RTS/CTS heuristic state.
+    double loss_ewma_ = 0.0;
+    bool heuristic_rts_on_ = false;
+
+    // Pending response bookkeeping.
+    frame pending_response_;
+    bool response_queued_ = false;
+};
+
+}  // namespace csense::mac

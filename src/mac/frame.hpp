@@ -1,0 +1,34 @@
+// Frames exchanged on the simulated medium.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/capacity/rate_table.hpp"
+
+namespace csense::mac {
+
+using node_id = std::uint32_t;
+
+/// Broadcast destination address.
+inline constexpr node_id broadcast_id = std::numeric_limits<node_id>::max();
+
+enum class frame_kind : std::uint8_t { data, rts, cts, ack };
+
+/// A frame in flight. `rate` points into the static rate tables.
+struct frame {
+    frame_kind kind = frame_kind::data;
+    node_id src = 0;
+    node_id dst = broadcast_id;
+    int bytes = 0;
+    const capacity::phy_rate* rate = nullptr;
+    std::uint64_t sequence = 0;     ///< per-sender sequence number
+    double nav_duration_us = 0.0;   ///< NAV others should honour (RTS/CTS)
+
+    /// Air time of this frame in microseconds.
+    double airtime_us() const {
+        return capacity::frame_airtime_us(*rate, bytes);
+    }
+};
+
+}  // namespace csense::mac

@@ -1,0 +1,265 @@
+#include "src/mac/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/propagation/units.hpp"
+
+namespace csense::mac {
+
+namespace {
+constexpr double very_weak_gain_db = -500.0;
+}
+
+medium::medium(sim::simulator& sim, radio_config radio,
+               const capacity::error_model& errors, std::uint64_t seed)
+    : sim_(sim), radio_(radio), errors_(errors), rng_(seed) {}
+
+node_id medium::add_node(medium_listener& listener) {
+    if (!transmissions_.empty()) {
+        throw std::logic_error("medium::add_node: topology is frozen once "
+                               "transmissions begin");
+    }
+    const auto id = static_cast<node_id>(listeners_.size());
+    listeners_.push_back(&listener);
+    lock_by_node_.emplace_back();
+    last_tx_start_.push_back(-1e18);
+    tx_flag_by_node_.push_back(0);
+    // Grow the gain matrix, defaulting new links to "unhearable".
+    const std::size_t n = listeners_.size();
+    std::vector<double> grown(n * n, very_weak_gain_db);
+    for (std::size_t a = 0; a + 1 < n; ++a) {
+        for (std::size_t b = 0; b + 1 < n; ++b) {
+            grown[a * n + b] = gains_db_[a * (n - 1) + b];
+        }
+    }
+    gains_db_ = std::move(grown);
+    return id;
+}
+
+void medium::set_link_gain_db(node_id a, node_id b, double gain_db) {
+    const std::size_t n = listeners_.size();
+    if (a >= n || b >= n || a == b) {
+        throw std::invalid_argument("medium::set_link_gain_db: bad link");
+    }
+    gains_db_[a * n + b] = gain_db;
+    gains_db_[b * n + a] = gain_db;
+}
+
+double medium::link_gain_db(node_id a, node_id b) const {
+    const std::size_t n = listeners_.size();
+    if (a >= n || b >= n || a == b) {
+        throw std::invalid_argument("medium::link_gain_db: bad link");
+    }
+    return gains_db_[a * n + b];
+}
+
+double medium::rx_power_dbm(node_id tx, node_id rx) const {
+    return radio_.tx_power_dbm + link_gain_db(tx, rx);
+}
+
+bool medium::transmitting(node_id n) const {
+    return n < tx_flag_by_node_.size() && tx_flag_by_node_[n] != 0;
+}
+
+double medium::faded_rx_power_dbm(const transmission& t, node_id rx) const {
+    double power = rx_power_dbm(t.src, rx);
+    if (!t.fade_db.empty()) power += t.fade_db[rx];
+    return power;
+}
+
+double medium::external_power_mw(node_id n) const {
+    double mw = propagation::dbm_to_mw(radio_.noise_floor_dbm);
+    for (std::size_t i : active_tx_) {
+        const auto& t = transmissions_[i];
+        if (t.src == n) continue;
+        mw += propagation::dbm_to_mw(faded_rx_power_dbm(t, n));
+    }
+    return mw;
+}
+
+double medium::external_power_dbm(node_id n) const {
+    if (n >= listeners_.size()) {
+        throw std::invalid_argument("medium::external_power_dbm: bad node");
+    }
+    return propagation::mw_to_dbm(external_power_mw(n));
+}
+
+double medium::interference_mw(node_id rx, std::size_t locked_tx) const {
+    double mw = propagation::dbm_to_mw(radio_.noise_floor_dbm);
+    for (std::size_t i : active_tx_) {
+        const auto& t = transmissions_[i];
+        if (i == locked_tx || t.src == rx) continue;
+        mw += propagation::dbm_to_mw(faded_rx_power_dbm(t, rx));
+    }
+    return mw;
+}
+
+void medium::update_reception_sinrs() {
+    for (auto& lock : lock_by_node_) {
+        if (!lock || !lock->active) continue;
+        const double interference = interference_mw(lock->rx, lock->tx_index);
+        const double sinr_db =
+            propagation::mw_to_dbm(lock->signal_mw) -
+            propagation::mw_to_dbm(interference);
+        lock->min_sinr_db = std::min(lock->min_sinr_db, sinr_db);
+    }
+}
+
+void medium::update_all_channel_states() {
+    // Clear-channel assessment takes time: nodes learn about a power
+    // change cca_delay_us after it happens, and see the power as it is
+    // *then*. The stale window is what permits slot collisions.
+    sim_.schedule_in(radio_.cca_delay_us, [this] {
+        for (node_id n = 0; n < listeners_.size(); ++n) {
+            listeners_[n]->on_channel_update(
+                propagation::mw_to_dbm(external_power_mw(n)));
+        }
+    });
+}
+
+void medium::try_lock_receivers(std::size_t tx_index) {
+    const auto& t = transmissions_[tx_index];
+    for (node_id n = 0; n < listeners_.size(); ++n) {
+        if (n == t.src) continue;
+        if (transmitting(n)) continue;  // deaf while transmitting
+        const double power_dbm = faded_rx_power_dbm(t, n);
+        if (power_dbm < radio_.preamble_threshold_dbm) continue;
+        const double interference = interference_mw(n, tx_index);
+        const double sinr_db =
+            power_dbm - propagation::mw_to_dbm(interference);
+        if (sinr_db < radio_.preamble_capture_snr_db) continue;
+        // The preamble is decodable at this node: announce it (carrier
+        // sense hook) after the CCA lag, and lock if the receiver is free.
+        medium_listener* listener = listeners_[n];
+        const frame announced = t.f;
+        const sim::time_us until = t.end;
+        sim_.schedule_in(radio_.cca_delay_us,
+                         [listener, announced, power_dbm, until] {
+                             listener->on_preamble(announced, power_dbm, until);
+                         });
+        if (!lock_by_node_[n]) {
+            lock_by_node_[n] = reception{tx_index, n,
+                                         propagation::dbm_to_mw(power_dbm),
+                                         sinr_db, true};
+        }
+    }
+}
+
+void medium::start_transmission(node_id src, const frame& f,
+                                bool cs_said_idle) {
+    if (src >= listeners_.size()) {
+        throw std::invalid_argument("medium::start_transmission: bad node");
+    }
+    if (transmitting(src)) {
+        throw std::logic_error("medium::start_transmission: already on air");
+    }
+    ++counters_.transmissions;
+    const sim::time_us now = sim_.now();
+    // Pathology accounting: did this start overlap an audible frame?
+    bool audible = false;
+    bool mutual_recent_start = false;
+    for (std::size_t i : active_tx_) {
+        const auto& t = transmissions_[i];
+        if (rx_power_dbm(t.src, src) >= radio_.cs_threshold_dbm) {
+            audible = true;
+            if (now - t.start <= capacity::ofdm_timing::slot_us &&
+                rx_power_dbm(src, t.src) >= radio_.cs_threshold_dbm) {
+                mutual_recent_start = true;
+            }
+        }
+    }
+    if (audible) {
+        ++counters_.busy_starts;
+        if (mutual_recent_start) {
+            ++counters_.slot_collisions;
+        } else if (cs_said_idle) {
+            ++counters_.chain_collisions;
+        }
+    }
+    last_tx_start_[src] = now;
+
+    // A transmitter abandons any reception in progress.
+    if (lock_by_node_[src] && lock_by_node_[src]->active) {
+        lock_by_node_[src]->active = false;
+        lock_by_node_[src].reset();
+    }
+
+    transmission t;
+    t.f = f;
+    t.src = src;
+    t.start = now;
+    t.end = now + f.airtime_us();
+    t.active = true;
+    if (radio_.fading_sigma_db > 0.0) {
+        t.fade_db.resize(listeners_.size(), 0.0);
+        for (node_id n = 0; n < listeners_.size(); ++n) {
+            if (n == src) continue;
+            t.fade_db[n] = radio_.fading_sigma_db * rng_.normal();
+        }
+    }
+    transmissions_.push_back(std::move(t));
+    const std::size_t index = transmissions_.size() - 1;
+    active_tx_.push_back(index);
+    tx_flag_by_node_[src] = 1;
+    ++active_count_;
+
+    update_reception_sinrs();   // new interference hits ongoing receptions
+    try_lock_receivers(index);  // then candidates may lock onto this frame
+    update_all_channel_states();
+
+    sim_.schedule_at(t.end, [this, index] { end_transmission(index); });
+}
+
+void medium::end_transmission(std::size_t tx_index) {
+    // Copy what callbacks need: listeners may re-enter start_transmission,
+    // which can reallocate transmissions_.
+    const frame ended = transmissions_[tx_index].f;
+    const node_id src = transmissions_[tx_index].src;
+    transmissions_[tx_index].active = false;
+    std::erase(active_tx_, tx_index);
+    tx_flag_by_node_[src] = 0;
+    --active_count_;
+
+    // Settle receptions locked to this frame.
+    struct delivery {
+        node_id rx;
+        double power_dbm;
+        double sinr;
+        bool decoded;
+    };
+    std::vector<delivery> deliveries;
+    for (auto& lock : lock_by_node_) {
+        if (!lock || !lock->active || lock->tx_index != tx_index) continue;
+        lock->active = false;
+        const double per = errors_.packet_error_rate(
+            *ended.rate, lock->min_sinr_db, ended.bytes);
+        const bool decoded = rng_.uniform() >= per;
+        deliveries.push_back({lock->rx, propagation::mw_to_dbm(lock->signal_mw),
+                              lock->min_sinr_db, decoded});
+        lock.reset();
+    }
+    // Interference relief for everyone else, then deliver.
+    update_reception_sinrs();
+    for (const auto& d : deliveries) {
+        listeners_[d.rx]->on_frame_received(ended, d.power_dbm, d.sinr,
+                                            d.decoded);
+    }
+    update_all_channel_states();
+    listeners_[src]->on_tx_complete(ended);
+
+    // Compact the log occasionally so long runs stay O(active).
+    if (transmissions_.size() > 4096 && active_count_ == 0) {
+        bool any_locked = false;
+        for (const auto& lock : lock_by_node_) {
+            if (lock) any_locked = true;
+        }
+        if (!any_locked) {
+            transmissions_.clear();
+            active_tx_.clear();
+        }
+    }
+}
+
+}  // namespace csense::mac

@@ -1,0 +1,141 @@
+// The shared wireless medium: link gains, active transmissions,
+// SINR-tracked receptions, and carrier-sense power notifications.
+//
+// Reception model (matching the thesis' §4 hardware notes):
+//  - a receiver locks onto a frame at preamble time if it is not
+//    transmitting, not already locked, the power exceeds the preamble
+//    sensitivity, and the instantaneous SINR exceeds the capture
+//    threshold;
+//  - there is no receive abort: once locked, a stronger later frame is
+//    just interference (the thesis notes its testbed ran this way);
+//  - the frame decodes with probability 1 - PER evaluated at the worst
+//    SINR observed during the reception;
+//  - nodes that are transmitting hear nothing - the root of the
+//    "chain collision" pathology for preamble-based carrier sense.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/capacity/error_models.hpp"
+#include "src/mac/frame.hpp"
+#include "src/mac/wireless_config.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::mac {
+
+/// Callbacks a node registers with the medium.
+class medium_listener {
+public:
+    virtual ~medium_listener() = default;
+
+    /// Total external (not self-generated) power at this node changed.
+    virtual void on_channel_update(double external_power_dbm) = 0;
+
+    /// A decodable preamble passed by (node idle or locked, power above
+    /// sensitivity). `until` is the frame's scheduled end time.
+    virtual void on_preamble(const frame& f, double rx_power_dbm,
+                             sim::time_us until) = 0;
+
+    /// A locked reception finished. `decoded` reflects the PER draw at
+    /// the worst SINR seen during the frame.
+    virtual void on_frame_received(const frame& f, double rx_power_dbm,
+                                   double min_sinr_db, bool decoded) = 0;
+
+    /// This node's own transmission left the air.
+    virtual void on_tx_complete(const frame& f) = 0;
+};
+
+/// Network-wide pathology counters (§5's implementation corner cases).
+struct medium_counters {
+    std::uint64_t transmissions = 0;
+    std::uint64_t slot_collisions = 0;  ///< mutual-sensers starting within
+                                        ///< one slot of each other
+    std::uint64_t chain_collisions = 0; ///< tx started over an audible
+                                        ///< frame whose preamble was missed
+    std::uint64_t busy_starts = 0;      ///< tx started over any audible frame
+};
+
+/// The medium itself.
+class medium {
+public:
+    medium(sim::simulator& sim, radio_config radio,
+           const capacity::error_model& errors, std::uint64_t seed);
+
+    /// Register a node; ids must be assigned densely from 0.
+    node_id add_node(medium_listener& listener);
+
+    std::size_t node_count() const noexcept { return listeners_.size(); }
+
+    /// Symmetric link gain in dB (negative; rx = tx_power + gain).
+    void set_link_gain_db(node_id a, node_id b, double gain_db);
+    double link_gain_db(node_id a, node_id b) const;
+
+    /// Received power at `rx` of a transmission from `tx`, in dBm.
+    double rx_power_dbm(node_id tx, node_id rx) const;
+
+    /// Begin transmitting; the frame occupies the air for its airtime and
+    /// the medium schedules all consequences. A node must not already be
+    /// transmitting. `cs_said_idle` lets the medium classify pathological
+    /// starts (it does not change behaviour).
+    void start_transmission(node_id src, const frame& f, bool cs_said_idle);
+
+    /// True if the node is currently transmitting.
+    bool transmitting(node_id n) const;
+
+    /// Total external power at a node right now, in dBm (noise floor when
+    /// the air is silent).
+    double external_power_dbm(node_id n) const;
+
+    const medium_counters& counters() const noexcept { return counters_; }
+    const radio_config& radio() const noexcept { return radio_; }
+
+private:
+    struct transmission {
+        frame f;
+        node_id src;
+        sim::time_us start;
+        sim::time_us end;
+        bool active = true;
+        /// Per-receiver fading (dB) frozen for this frame; empty when
+        /// fading is disabled.
+        std::vector<double> fade_db;
+    };
+
+    struct reception {
+        std::size_t tx_index;   ///< into transmissions_
+        node_id rx;
+        double signal_mw;
+        double min_sinr_db;
+        bool active = true;
+    };
+
+    void end_transmission(std::size_t tx_index);
+    void update_all_channel_states();
+    void update_reception_sinrs();
+    double external_power_mw(node_id n) const;
+    double interference_mw(node_id rx, std::size_t locked_tx) const;
+    void try_lock_receivers(std::size_t tx_index);
+    /// Received power of one active transmission at `rx`, including the
+    /// frame's frozen fading draw.
+    double faded_rx_power_dbm(const transmission& t, node_id rx) const;
+
+    sim::simulator& sim_;
+    radio_config radio_;
+    const capacity::error_model& errors_;
+    stats::rng rng_;
+    std::vector<medium_listener*> listeners_;
+    std::vector<double> gains_db_;  ///< dense node_count^2 matrix
+    std::vector<transmission> transmissions_;
+    std::vector<std::size_t> active_tx_;        ///< indices of active entries
+    std::vector<std::uint8_t> tx_flag_by_node_; ///< 1 while a node is on air
+    std::vector<std::optional<reception>> lock_by_node_;
+    std::vector<sim::time_us> last_tx_start_;
+    std::size_t active_count_ = 0;
+    medium_counters counters_;
+};
+
+}  // namespace csense::mac

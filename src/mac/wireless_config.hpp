@@ -1,0 +1,56 @@
+// Radio and MAC configuration shared by the packet-level simulator.
+// Defaults follow the thesis' hardware (§3.2.2 fn. 5, §4): 15 dBm
+// transmitters, a -95 dBm noise floor, energy-detection carrier sense
+// near -82 dBm, 802.11a OFDM timing, and 1400-byte broadcast frames.
+#pragma once
+
+#include "src/capacity/rate_table.hpp"
+
+namespace csense::mac {
+
+/// How a node's clear-channel assessment decides "busy".
+enum class cs_mode {
+    disabled,             ///< never defer (the thesis' CS-off mode)
+    energy,               ///< total received power above threshold
+    preamble,             ///< busy only while a decoded preamble's frame is
+                          ///< in the air (vulnerable to chain collisions)
+    energy_and_preamble,  ///< either signal marks the channel busy
+};
+
+/// Per-deployment radio constants.
+struct radio_config {
+    double tx_power_dbm = 15.0;
+    double noise_floor_dbm = -95.0;
+    double cs_threshold_dbm = -82.0;       ///< energy-detection threshold
+    double preamble_threshold_dbm = -92.0; ///< preamble decode sensitivity
+    double preamble_capture_snr_db = 4.0;  ///< SINR needed to lock onto a frame
+    double cca_delay_us = 4.0;             ///< clear-channel-assessment lag;
+                                           ///< the vulnerability window behind
+                                           ///< slot collisions (must be < slot)
+    double fading_sigma_db = 0.0;          ///< per-packet, per-link wideband
+                                           ///< fading residue (lognormal dB)
+};
+
+/// Per-node MAC behaviour.
+struct mac_config {
+    cs_mode sense = cs_mode::energy_and_preamble;
+    double cs_threshold_offset_db = 0.0;  ///< per-node calibration error
+                                          ///< (threshold asymmetry pathology)
+    int cw_min = 15;
+    int cw_max = 1023;
+    int retry_limit = 7;       ///< unicast retries (broadcast never retries)
+    bool use_rts_cts = false;  ///< static RTS/CTS for unicast data
+    bool adaptive_rts_cts = false;  ///< §5 heuristic: enable RTS/CTS only
+                                    ///< when loss is high despite high RSSI
+    double rts_loss_threshold = 0.4;   ///< loss EWMA that triggers RTS/CTS
+    double rts_snr_threshold_db = 15.0;///< only if SNR is at least this
+};
+
+/// Control-frame sizes in bytes (802.11 MAC).
+struct control_frames {
+    static constexpr int rts_bytes = 20;
+    static constexpr int cts_bytes = 14;
+    static constexpr int ack_bytes = 14;
+};
+
+}  // namespace csense::mac

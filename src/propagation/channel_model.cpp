@@ -1,0 +1,48 @@
+#include "src/propagation/channel_model.hpp"
+
+#include <stdexcept>
+
+#include "src/propagation/units.hpp"
+
+namespace csense::propagation {
+
+channel_model::channel_model(std::shared_ptr<const path_loss_model> path_loss,
+                             std::shared_ptr<const shadowing_field> shadowing,
+                             radio_parameters radio)
+    : path_loss_(std::move(path_loss)), shadowing_(std::move(shadowing)),
+      radio_(radio) {
+    if (!path_loss_ || !shadowing_) {
+        throw std::invalid_argument("channel_model: null component");
+    }
+}
+
+double channel_model::median_rx_power_dbm(double distance_m) const {
+    return radio_.tx_power_dbm - path_loss_->loss_db(distance_m);
+}
+
+double channel_model::rx_power_dbm(std::uint32_t node_a, std::uint32_t node_b,
+                                   double distance_m) const {
+    return median_rx_power_dbm(distance_m) +
+           shadowing_->shadow_db(node_a, node_b);
+}
+
+double channel_model::link_gain_db(std::uint32_t node_a, std::uint32_t node_b,
+                                   double distance_m) const {
+    return rx_power_dbm(node_a, node_b, distance_m) - radio_.tx_power_dbm;
+}
+
+double channel_model::snr_db(std::uint32_t node_a, std::uint32_t node_b,
+                             double distance_m) const {
+    return rx_power_dbm(node_a, node_b, distance_m) - radio_.noise_floor_dbm;
+}
+
+double channel_model::sample_fading_db(stats::rng& gen) const {
+    if (!fading_) return 0.0;
+    return linear_to_db(fading_->sample_power(gen));
+}
+
+void channel_model::enable_fading(int subcarriers, double k_factor) {
+    fading_ = std::make_unique<wideband_fading>(subcarriers, k_factor);
+}
+
+}  // namespace csense::propagation

@@ -1,0 +1,64 @@
+// Composite link-budget model: deterministic path loss + per-link
+// lognormal shadowing + optional per-packet wideband fading residue.
+// This is the channel the packet-level simulator and the synthetic
+// testbed run on; its statistical form is exactly the model the thesis
+// fits to its own testbed (Figure 14: alpha = 3.6, sigma = 10.4 dB).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/propagation/fading.hpp"
+#include "src/propagation/path_loss.hpp"
+#include "src/propagation/shadowing.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::propagation {
+
+/// Radio-wide constants for a deployment.
+struct radio_parameters {
+    double tx_power_dbm = 15.0;     ///< transmit power (thesis fn. 5)
+    double noise_floor_dbm = -95.0; ///< thermal noise floor (thesis fn. 5)
+};
+
+/// Composite channel: median path loss, frozen per-link shadow, and an
+/// optional per-packet fading residue.
+class channel_model {
+public:
+    channel_model(std::shared_ptr<const path_loss_model> path_loss,
+                  std::shared_ptr<const shadowing_field> shadowing,
+                  radio_parameters radio);
+
+    /// Median received power (no shadowing) at a distance, in dBm.
+    double median_rx_power_dbm(double distance_m) const;
+
+    /// Received power for a specific link: median power plus the link's
+    /// frozen shadowing draw, in dBm.
+    double rx_power_dbm(std::uint32_t node_a, std::uint32_t node_b,
+                        double distance_m) const;
+
+    /// Link gain (rx power minus tx power) in dB for a specific link.
+    double link_gain_db(std::uint32_t node_a, std::uint32_t node_b,
+                        double distance_m) const;
+
+    /// Signal-to-noise ratio in dB for a specific link (no interference).
+    double snr_db(std::uint32_t node_a, std::uint32_t node_b,
+                  double distance_m) const;
+
+    /// Per-packet fading residue in dB drawn from the wideband model, or
+    /// exactly 0 if fading is disabled.
+    double sample_fading_db(stats::rng& gen) const;
+
+    /// Enable per-packet wideband fading with the given subcarrier count.
+    void enable_fading(int subcarriers, double k_factor = 0.0);
+
+    const radio_parameters& radio() const noexcept { return radio_; }
+
+private:
+    std::shared_ptr<const path_loss_model> path_loss_;
+    std::shared_ptr<const shadowing_field> shadowing_;
+    radio_parameters radio_;
+    std::unique_ptr<wideband_fading> fading_;
+};
+
+}  // namespace csense::propagation

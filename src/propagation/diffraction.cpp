@@ -1,0 +1,54 @@
+#include "src/propagation/diffraction.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/propagation/units.hpp"
+
+namespace csense::propagation {
+
+double fresnel_v(double clearance_m, double d1_m, double d2_m, double lambda_m) {
+    if (!(d1_m > 0.0) || !(d2_m > 0.0) || !(lambda_m > 0.0)) {
+        throw std::domain_error("fresnel_v: distances and wavelength must be > 0");
+    }
+    return clearance_m * std::sqrt(2.0 * (d1_m + d2_m) / (lambda_m * d1_m * d2_m));
+}
+
+double knife_edge_loss_db(double v) {
+    if (v <= -0.78) return 0.0;
+    const double t = v - 0.1;
+    return 6.9 + 20.0 * std::log10(std::sqrt(t * t + 1.0) + t);
+}
+
+double knife_edge_loss_db(double clearance_m, double d1_m, double d2_m,
+                          double frequency_hz) {
+    const double lambda = wavelength_m(frequency_hz);
+    return knife_edge_loss_db(fresnel_v(clearance_m, d1_m, d2_m, lambda));
+}
+
+double wall_attenuation_db(wall_material material) {
+    switch (material) {
+        case wall_material::drywall: return 3.0;
+        case wall_material::interior_wall: return 7.0;
+        case wall_material::brick: return 8.0;
+        case wall_material::concrete: return 13.0;
+        case wall_material::reinforced_slab: return 20.0;
+        case wall_material::metal: return 40.0;
+    }
+    throw std::invalid_argument("wall_attenuation_db: unknown material");
+}
+
+double typical_reflection_loss_db() { return 7.0; }
+
+double combine_paths_db(const double* losses_db, int count) {
+    if (count <= 0 || losses_db == nullptr) {
+        throw std::invalid_argument("combine_paths_db: need at least one path");
+    }
+    double power = 0.0;
+    for (int i = 0; i < count; ++i) {
+        power += db_to_linear(-losses_db[i]);
+    }
+    return -linear_to_db(power);
+}
+
+}  // namespace csense::propagation

@@ -1,0 +1,49 @@
+// Obstacle physics for §3.4's barrier argument (Figure 8): even an opaque
+// barrier leaks carrier-sense signal around its edge (knife-edge
+// diffraction), through interior walls (~<10 dB), and via reflections off
+// far walls (~<10 dB). These calculators quantify each path.
+#pragma once
+
+namespace csense::propagation {
+
+/// Fresnel-Kirchhoff diffraction parameter v for a knife edge of height h
+/// above the line of sight, with distances d1, d2 (meters) from the edge
+/// to each endpoint, at wavelength lambda (meters).
+double fresnel_v(double clearance_m, double d1_m, double d2_m, double lambda_m);
+
+/// Knife-edge diffraction loss J(v) in dB, using the ITU-R P.526
+/// approximation, valid for v > -0.78 (0 dB below that).
+double knife_edge_loss_db(double v);
+
+/// Convenience: diffraction loss around a barrier whose edge sits
+/// `clearance_m` above (positive = obstructing) the direct path, with the
+/// barrier `d1_m` from the sender and `d2_m` from the receiver, at
+/// `frequency_hz`.
+double knife_edge_loss_db(double clearance_m, double d1_m, double d2_m,
+                          double frequency_hz);
+
+/// Typical attenuation (dB) of common interior construction at ~2.4 GHz.
+/// Values follow COST 231 §4.6-4.7 as quoted by the thesis (interior wall
+/// < 10 dB, etc.).
+enum class wall_material {
+    drywall,
+    interior_wall,   // generic office interior wall
+    brick,
+    concrete,
+    reinforced_slab, // heavy floor construction; motivates the floor term
+    metal,
+};
+
+/// Attenuation for a single wall of the given material, in dB.
+double wall_attenuation_db(wall_material material);
+
+/// Loss of a single specular reflection off a typical interior surface,
+/// in dB (thesis: "typical reflection losses are less than 10 dB").
+double typical_reflection_loss_db();
+
+/// Power-combine several path losses given in dB: total received power is
+/// the (incoherent) sum over paths, so the effective loss is
+/// -10*log10(sum_i 10^(-L_i/10)).
+double combine_paths_db(const double* losses_db, int count);
+
+}  // namespace csense::propagation

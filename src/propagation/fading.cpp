@@ -1,0 +1,46 @@
+#include "src/propagation/fading.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/propagation/units.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/summary.hpp"
+
+namespace csense::propagation {
+
+narrowband_fading::narrowband_fading(double k_factor) : k_factor_(k_factor) {
+    if (k_factor < 0.0) {
+        throw std::invalid_argument("narrowband_fading: K must be >= 0");
+    }
+}
+
+double narrowband_fading::sample_power(stats::rng& gen) const {
+    if (k_factor_ == 0.0) return stats::rayleigh_fading::sample_power(gen);
+    return stats::rician_fading{k_factor_}.sample_power(gen);
+}
+
+wideband_fading::wideband_fading(int subcarriers, double k_factor)
+    : per_subcarrier_(k_factor), subcarriers_(subcarriers) {
+    if (subcarriers < 1) {
+        throw std::invalid_argument("wideband_fading: subcarriers must be >= 1");
+    }
+}
+
+double wideband_fading::sample_power(stats::rng& gen) const {
+    double sum = 0.0;
+    for (int i = 0; i < subcarriers_; ++i) {
+        sum += per_subcarrier_.sample_power(gen);
+    }
+    return sum / static_cast<double>(subcarriers_);
+}
+
+double wideband_fading::effective_sigma_db(stats::rng& gen, int samples) const {
+    stats::running_summary db;
+    for (int i = 0; i < samples; ++i) {
+        db.add(linear_to_db(sample_power(gen)));
+    }
+    return db.stddev();
+}
+
+}  // namespace csense::propagation

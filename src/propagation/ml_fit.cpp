@@ -1,0 +1,83 @@
+#include "src/propagation/ml_fit.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/stats/distributions.hpp"
+#include "src/stats/solve.hpp"
+
+namespace csense::propagation {
+namespace {
+
+double log_normal_pdf(double x, double mean, double sigma) {
+    const double z = (x - mean) / sigma;
+    return -0.5 * z * z - std::log(sigma) -
+           0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+/// log Phi(z), stable in the deep lower tail via the asymptotic expansion.
+double log_normal_cdf(double z) {
+    if (z > -8.0) return std::log(stats::normal_cdf(z));
+    // Phi(z) ~ phi(z)/|z| * (1 - 1/z^2) for z << 0.
+    return -0.5 * z * z - std::log(-z) - 0.5 * std::log(2.0 * std::numbers::pi) +
+           std::log1p(-1.0 / (z * z));
+}
+
+}  // namespace
+
+path_loss_fit fit_path_loss(const std::vector<rssi_observation>& data,
+                            double reference_distance, double threshold_db,
+                            censoring_mode mode) {
+    if (data.empty()) throw std::invalid_argument("fit_path_loss: no data");
+    if (!(reference_distance > 0.0)) {
+        throw std::invalid_argument("fit_path_loss: reference distance");
+    }
+
+    auto negative_log_likelihood = [&](const std::vector<double>& p) {
+        const double alpha = p[0];
+        const double sigma = p[1];
+        const double rssi0 = p[2];
+        if (sigma <= 0.05 || alpha <= 0.0 || alpha > 10.0) return 1e12;
+        double nll = 0.0;
+        for (const auto& obs : data) {
+            if (!(obs.distance > 0.0)) return 1e12;
+            const double mean =
+                rssi0 - 10.0 * alpha * std::log10(obs.distance / reference_distance);
+            if (obs.censored) {
+                if (mode != censoring_mode::censored) continue;
+                // P(SNR < threshold): the link was invisible.
+                nll -= log_normal_cdf((threshold_db - mean) / sigma);
+            } else {
+                nll -= log_normal_pdf(obs.snr_db, mean, sigma);
+                if (mode == censoring_mode::truncated) {
+                    // Condition on visibility: divide by P(SNR >= threshold).
+                    nll += log_normal_cdf(-(threshold_db - mean) / sigma);
+                }
+            }
+        }
+        return nll;
+    };
+
+    const auto result = stats::nelder_mead(negative_log_likelihood,
+                                           {3.0, 8.0, 30.0}, {0.5, 2.0, 5.0},
+                                           1e-10, 20000);
+    path_loss_fit fit;
+    fit.alpha = result.x[0];
+    fit.sigma_db = result.x[1];
+    fit.rssi0_db = result.x[2];
+    fit.log_likelihood = -result.fx;
+    fit.converged = result.converged;
+    return fit;
+}
+
+double fit_mean_snr_db(const path_loss_fit& fit, double reference_distance,
+                       double distance) {
+    if (!(distance > 0.0) || !(reference_distance > 0.0)) {
+        throw std::domain_error("fit_mean_snr_db: distances must be positive");
+    }
+    return fit.rssi0_db -
+           10.0 * fit.alpha * std::log10(distance / reference_distance);
+}
+
+}  // namespace csense::propagation

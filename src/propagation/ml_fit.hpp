@@ -1,0 +1,54 @@
+// Maximum-likelihood fit of the path-loss/shadowing model to measured
+// RSSI-vs-distance data, reproducing the estimator behind Figure 14
+// (alpha = 3.6, sigma = 10.4 dB on the thesis' testbed). The fit must
+// account for links too weak to decode: the thesis notes it corrects for
+// "the invisibility of sub-threshold links". We support both treatments:
+//  - censored: sub-threshold pairs are present in the data as
+//    "no packets received" observations (we know the pair exists);
+//  - truncated: sub-threshold pairs are silently absent from the data.
+#pragma once
+
+#include <vector>
+
+namespace csense::propagation {
+
+/// One RSSI observation: distance and measured mean SNR (dB), or a
+/// censored marker when no packets were received.
+struct rssi_observation {
+    double distance = 0.0;  ///< arbitrary consistent distance units
+    double snr_db = 0.0;    ///< meaningful only when !censored
+    bool censored = false;  ///< true = below detection threshold
+};
+
+/// How sub-threshold links are reflected in the data set.
+enum class censoring_mode {
+    censored,   ///< below-threshold pairs appear as censored records
+    truncated,  ///< below-threshold pairs are absent from the data
+    ignore,     ///< drop censored records and apply no correction - the
+                ///< naive estimator; biased low in alpha (kept as a
+                ///< baseline to demonstrate why the thesis corrects for
+                ///< "the invisibility of sub-threshold links")
+};
+
+/// Fitted model: SNR_dB(d) ~ Normal(rssi0 - 10*alpha*log10(d / d_ref),
+/// sigma^2), observations below `threshold_db` unseen.
+struct path_loss_fit {
+    double alpha = 0.0;       ///< path loss exponent
+    double sigma_db = 0.0;    ///< shadowing standard deviation
+    double rssi0_db = 0.0;    ///< mean SNR at the reference distance
+    double log_likelihood = 0.0;
+    bool converged = false;
+};
+
+/// Fit (alpha, sigma, rssi0) by maximum likelihood via Nelder-Mead.
+/// `reference_distance` anchors rssi0 (the thesis quotes RSSI0 at R=20).
+/// `threshold_db` is the detection floor below which links are invisible.
+path_loss_fit fit_path_loss(const std::vector<rssi_observation>& data,
+                            double reference_distance, double threshold_db,
+                            censoring_mode mode = censoring_mode::censored);
+
+/// Model mean at a distance, for plotting fit curves.
+double fit_mean_snr_db(const path_loss_fit& fit, double reference_distance,
+                       double distance);
+
+}  // namespace csense::propagation

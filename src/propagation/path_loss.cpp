@@ -1,0 +1,101 @@
+#include "src/propagation/path_loss.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/propagation/units.hpp"
+
+namespace csense::propagation {
+namespace {
+
+void require_positive_distance(double distance_m) {
+    if (!(distance_m > 0.0)) {
+        throw std::domain_error("path loss: distance must be positive");
+    }
+}
+
+}  // namespace
+
+power_law_path_loss::power_law_path_loss(double exponent, double reference_loss_db,
+                                         double reference_distance_m)
+    : exponent_(exponent), reference_loss_db_(reference_loss_db),
+      reference_distance_m_(reference_distance_m) {
+    if (!(reference_distance_m > 0.0)) {
+        throw std::invalid_argument("power_law_path_loss: reference distance");
+    }
+}
+
+double power_law_path_loss::loss_db(double distance_m) const {
+    require_positive_distance(distance_m);
+    return reference_loss_db_ +
+           10.0 * exponent_ * std::log10(distance_m / reference_distance_m_);
+}
+
+free_space_path_loss::free_space_path_loss(double frequency_hz)
+    : frequency_hz_(frequency_hz) {
+    if (!(frequency_hz > 0.0)) {
+        throw std::invalid_argument("free_space_path_loss: frequency");
+    }
+}
+
+double free_space_path_loss::loss_db(double distance_m) const {
+    require_positive_distance(distance_m);
+    const double lambda = wavelength_m(frequency_hz_);
+    return 20.0 * std::log10(4.0 * std::numbers::pi * distance_m / lambda);
+}
+
+two_ray_path_loss::two_ray_path_loss(double frequency_hz, double tx_height_m,
+                                     double rx_height_m)
+    : frequency_hz_(frequency_hz), ht_(tx_height_m), hr_(rx_height_m) {
+    if (!(frequency_hz > 0.0) || !(tx_height_m > 0.0) || !(rx_height_m > 0.0)) {
+        throw std::invalid_argument("two_ray_path_loss: parameters must be > 0");
+    }
+}
+
+double two_ray_path_loss::crossover_distance_m() const {
+    return 4.0 * std::numbers::pi * ht_ * hr_ / wavelength_m(frequency_hz_);
+}
+
+double two_ray_path_loss::loss_db(double distance_m) const {
+    require_positive_distance(distance_m);
+    const double lambda = wavelength_m(frequency_hz_);
+    const double k = 2.0 * std::numbers::pi / lambda;
+    // Exact two-path sum with a ground reflection coefficient of -1
+    // (grazing incidence), as in the appendix's description.
+    const double d_los =
+        std::sqrt(distance_m * distance_m + (ht_ - hr_) * (ht_ - hr_));
+    const double d_ref =
+        std::sqrt(distance_m * distance_m + (ht_ + hr_) * (ht_ + hr_));
+    const std::complex<double> los =
+        std::polar(lambda / (4.0 * std::numbers::pi * d_los), -k * d_los);
+    const std::complex<double> ref =
+        std::polar(lambda / (4.0 * std::numbers::pi * d_ref), -k * d_ref);
+    const double gain = std::norm(los - ref);
+    if (gain <= 0.0) return 400.0;  // deep null: clamp to a very large loss
+    return -linear_to_db(gain);
+}
+
+indoor_floor_path_loss::indoor_floor_path_loss(double exponent,
+                                               double reference_loss_db,
+                                               double floor_attenuation_db,
+                                               int floors_crossed)
+    : base_(exponent, reference_loss_db),
+      floor_attenuation_db_(floor_attenuation_db),
+      floors_crossed_(floors_crossed) {
+    if (floors_crossed < 0) {
+        throw std::invalid_argument("indoor_floor_path_loss: floors_crossed < 0");
+    }
+}
+
+double indoor_floor_path_loss::loss_db(double distance_m) const {
+    return loss_db(distance_m, floors_crossed_);
+}
+
+double indoor_floor_path_loss::loss_db(double distance_m, int floors_crossed) const {
+    return base_.loss_db(distance_m) +
+           floor_attenuation_db_ * static_cast<double>(floors_crossed);
+}
+
+}  // namespace csense::propagation

@@ -1,0 +1,93 @@
+// Deterministic path-loss models (the paper's appendix, §2 and §9):
+//  - power-law (log-distance) decay, the model the thesis analyzes;
+//  - free-space loss as the alpha = 2 special case with physical scaling;
+//  - the two-ray ground-reflection model, whose far-field slope
+//    approaches alpha = 4;
+//  - an ITU-R P.1238-style indoor model with per-floor attenuation.
+// All models return *loss* in dB (positive numbers attenuate).
+#pragma once
+
+#include <memory>
+
+namespace csense::propagation {
+
+/// Interface for deterministic distance-dependent path loss.
+class path_loss_model {
+public:
+    virtual ~path_loss_model() = default;
+
+    /// Median path loss in dB at the given distance in meters (> 0).
+    virtual double loss_db(double distance_m) const = 0;
+};
+
+/// Power-law decay: loss(d) = loss(d0) + 10 * alpha * log10(d / d0).
+/// This is the "path loss" term of the thesis' propagation model.
+class power_law_path_loss final : public path_loss_model {
+public:
+    /// `exponent` is alpha (typically 2-4 indoors); `reference_loss_db` is
+    /// the loss at `reference_distance_m`.
+    power_law_path_loss(double exponent, double reference_loss_db,
+                        double reference_distance_m = 1.0);
+
+    double loss_db(double distance_m) const override;
+
+    double exponent() const noexcept { return exponent_; }
+    double reference_loss_db() const noexcept { return reference_loss_db_; }
+    double reference_distance_m() const noexcept { return reference_distance_m_; }
+
+private:
+    double exponent_;
+    double reference_loss_db_;
+    double reference_distance_m_;
+};
+
+/// Free-space (Friis) loss at a carrier frequency.
+class free_space_path_loss final : public path_loss_model {
+public:
+    explicit free_space_path_loss(double frequency_hz);
+
+    double loss_db(double distance_m) const override;
+
+private:
+    double frequency_hz_;
+};
+
+/// Two-ray ground-reflection model: exact two-path interference sum at
+/// short range, 4th-power decay beyond the crossover distance
+/// d_c = 4 * pi * ht * hr / lambda. Appendix §9 invokes this model to
+/// motivate alpha approaching 4 outdoors.
+class two_ray_path_loss final : public path_loss_model {
+public:
+    two_ray_path_loss(double frequency_hz, double tx_height_m, double rx_height_m);
+
+    double loss_db(double distance_m) const override;
+
+    /// Crossover distance beyond which the d^4 approximation applies.
+    double crossover_distance_m() const;
+
+private:
+    double frequency_hz_;
+    double ht_;
+    double hr_;
+};
+
+/// Indoor model in the style of ITU-R P.1238: power-law decay plus a fixed
+/// attenuation per floor crossed (the thesis' footnote 1 notes heavy floors
+/// warrant a separate term).
+class indoor_floor_path_loss final : public path_loss_model {
+public:
+    indoor_floor_path_loss(double exponent, double reference_loss_db,
+                           double floor_attenuation_db, int floors_crossed);
+
+    double loss_db(double distance_m) const override;
+
+    /// Same model evaluated with an explicit floor count.
+    double loss_db(double distance_m, int floors_crossed) const;
+
+private:
+    power_law_path_loss base_;
+    double floor_attenuation_db_;
+    int floors_crossed_;
+};
+
+}  // namespace csense::propagation

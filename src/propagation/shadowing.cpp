@@ -1,0 +1,77 @@
+#include "src/propagation/shadowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csense::propagation {
+namespace {
+
+std::uint64_t link_key(std::uint32_t a, std::uint32_t b) noexcept {
+    const std::uint32_t lo = std::min(a, b);
+    const std::uint32_t hi = std::max(a, b);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+
+iid_shadowing::iid_shadowing(double sigma_db, std::uint64_t seed)
+    : sigma_db_(sigma_db), base_(seed) {}
+
+double iid_shadowing::shadow_db(std::uint32_t node_a, std::uint32_t node_b) const {
+    stats::rng stream = base_.split(link_key(node_a, node_b));
+    return sigma_db_ * stream.normal();
+}
+
+correlated_shadowing::correlated_shadowing(double sigma_db,
+                                           double decorrelation_distance_m,
+                                           std::uint64_t seed)
+    : sigma_db_(sigma_db), decorrelation_m_(decorrelation_distance_m),
+      base_(seed) {}
+
+double correlated_shadowing::lattice_normal(std::int64_t i, std::int64_t j) const {
+    const auto key = static_cast<std::uint64_t>(i * 0x9E3779B97F4A7C15LL +
+                                                j * 0xC2B2AE3D27D4EB4FLL);
+    stats::rng stream = base_.split(key);
+    return stream.normal();
+}
+
+double correlated_shadowing::field_at(const position& p) const {
+    // Bilinear interpolation of lattice normals with cell size equal to the
+    // decorrelation distance. Interpolation slightly reduces variance away
+    // from lattice points; renormalize by the interpolation weights' L2 norm
+    // so the field keeps unit variance everywhere.
+    const double gx = p.x / decorrelation_m_;
+    const double gy = p.y / decorrelation_m_;
+    const auto i0 = static_cast<std::int64_t>(std::floor(gx));
+    const auto j0 = static_cast<std::int64_t>(std::floor(gy));
+    const double fx = gx - static_cast<double>(i0);
+    const double fy = gy - static_cast<double>(j0);
+    const double w00 = (1.0 - fx) * (1.0 - fy);
+    const double w10 = fx * (1.0 - fy);
+    const double w01 = (1.0 - fx) * fy;
+    const double w11 = fx * fy;
+    const double value = w00 * lattice_normal(i0, j0) +
+                         w10 * lattice_normal(i0 + 1, j0) +
+                         w01 * lattice_normal(i0, j0 + 1) +
+                         w11 * lattice_normal(i0 + 1, j0 + 1);
+    const double norm =
+        std::sqrt(w00 * w00 + w10 * w10 + w01 * w01 + w11 * w11);
+    return value / norm;
+}
+
+double correlated_shadowing::shadow_db(const position& a, const position& b) const {
+    // Each endpoint contributes an independent half of the link variance.
+    const double scale = sigma_db_ / std::sqrt(2.0);
+    return scale * (field_at(a) + field_at(b));
+}
+
+double correlated_shadowing::shadow_db(std::uint32_t node_a,
+                                       std::uint32_t node_b) const {
+    // Hash node ids onto pseudo-positions one decorrelation cell apart.
+    const position pa{static_cast<double>(node_a) * decorrelation_m_, 0.0};
+    const position pb{static_cast<double>(node_b) * decorrelation_m_,
+                      decorrelation_m_};
+    return shadow_db(pa, pb);
+}
+
+}  // namespace csense::propagation

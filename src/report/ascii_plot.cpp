@@ -1,0 +1,156 @@
+#include "src/report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace csense::report {
+namespace {
+
+struct bounds {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+
+    void include(double v) {
+        if (std::isnan(v)) return;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    bool valid() const { return lo <= hi; }
+};
+
+std::string format_tick(double v) {
+    char buffer[32];
+    if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+        std::snprintf(buffer, sizeof(buffer), "%.2e", v);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.3g", v);
+    }
+    return buffer;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<series>& data,
+                         const plot_options& options) {
+    if (data.empty()) throw std::invalid_argument("render_chart: no series");
+    bounds bx, by;
+    for (const auto& s : data) {
+        if (s.x.size() != s.y.size()) {
+            throw std::invalid_argument("render_chart: x/y size mismatch");
+        }
+        for (double v : s.x) bx.include(v);
+        for (double v : s.y) by.include(v);
+    }
+    if (!bx.valid() || !by.valid()) {
+        throw std::invalid_argument("render_chart: no finite data");
+    }
+    if (options.y_from_zero) by.include(0.0);
+    if (bx.hi == bx.lo) bx.hi = bx.lo + 1.0;
+    if (by.hi == by.lo) by.hi = by.lo + 1.0;
+
+    const int w = options.width;
+    const int h = options.height;
+    std::vector<std::string> grid(h, std::string(w, ' '));
+    for (const auto& s : data) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            if (std::isnan(s.x[i]) || std::isnan(s.y[i])) continue;
+            const int col = static_cast<int>(
+                std::lround((s.x[i] - bx.lo) / (bx.hi - bx.lo) * (w - 1)));
+            const int row = static_cast<int>(
+                std::lround((s.y[i] - by.lo) / (by.hi - by.lo) * (h - 1)));
+            if (col < 0 || col >= w || row < 0 || row >= h) continue;
+            grid[h - 1 - row][col] = s.marker;
+        }
+    }
+
+    std::string out;
+    if (!options.y_label.empty()) out += options.y_label + "\n";
+    const std::string top_tick = format_tick(by.hi);
+    const std::string bottom_tick = format_tick(by.lo);
+    const std::size_t margin = std::max(top_tick.size(), bottom_tick.size()) + 1;
+    for (int r = 0; r < h; ++r) {
+        std::string prefix;
+        if (r == 0) prefix = top_tick;
+        if (r == h - 1) prefix = bottom_tick;
+        prefix.append(margin - prefix.size(), ' ');
+        out += prefix + "|" + grid[r] + "\n";
+    }
+    out.append(margin, ' ');
+    out += "+";
+    out.append(w, '-');
+    out += "\n";
+    out.append(margin + 1, ' ');
+    std::string axis = format_tick(bx.lo);
+    const std::string hi_tick = format_tick(bx.hi);
+    if (axis.size() + hi_tick.size() + 1 < static_cast<std::size_t>(w)) {
+        axis.append(w - axis.size() - hi_tick.size(), ' ');
+        axis += hi_tick;
+    }
+    out += axis + "\n";
+    if (!options.x_label.empty()) {
+        out.append(margin + 1, ' ');
+        out += options.x_label + "\n";
+    }
+    out += "legend:";
+    for (const auto& s : data) {
+        out += " [";
+        out += s.marker;
+        out += "] " + s.name + " ";
+    }
+    out += "\n";
+    return out;
+}
+
+std::string render_heatmap(const std::vector<double>& values, int rows,
+                           int cols, const std::string& legend) {
+    if (rows <= 0 || cols <= 0 ||
+        values.size() != static_cast<std::size_t>(rows) * cols) {
+        throw std::invalid_argument("render_heatmap: dimensions");
+    }
+    static const std::string ramp = " .:-=+*#%@";
+    bounds b;
+    for (double v : values) b.include(v);
+    std::string out;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const double v = values[static_cast<std::size_t>(r) * cols + c];
+            if (std::isnan(v) || !b.valid() || b.hi == b.lo) {
+                out += ' ';
+                continue;
+            }
+            const double t = (v - b.lo) / (b.hi - b.lo);
+            const auto idx = static_cast<std::size_t>(
+                std::min(t, 1.0) * (ramp.size() - 1));
+            out += ramp[idx];
+        }
+        out += '\n';
+    }
+    if (!legend.empty()) {
+        out += "scale: '" + ramp + "' low -> high; " + legend + "\n";
+    }
+    return out;
+}
+
+std::string render_category_map(const std::vector<int>& cells, int rows,
+                                int cols, const std::string& palette) {
+    if (rows <= 0 || cols <= 0 ||
+        cells.size() != static_cast<std::size_t>(rows) * cols) {
+        throw std::invalid_argument("render_category_map: dimensions");
+    }
+    std::string out;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int v = cells[static_cast<std::size_t>(r) * cols + c];
+            out += (v >= 0 && v < static_cast<int>(palette.size())) ? palette[v]
+                                                                    : ' ';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace csense::report

@@ -1,0 +1,46 @@
+// Terminal renderings of the paper's figures: line charts (Figures 4-7,
+// 9), scatter plots (Figures 10-14), and shaded heatmaps (Figures 2-3).
+// Bench binaries print both the raw series (CSV-like rows) and these
+// pictures, so the reproduced figure is inspectable without any plotting
+// toolchain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csense::report {
+
+/// One named series of (x, y) points.
+struct series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+    char marker = '*';
+};
+
+/// Options for chart rendering.
+struct plot_options {
+    int width = 72;    ///< plot area columns
+    int height = 20;   ///< plot area rows
+    std::string x_label;
+    std::string y_label;
+    bool y_from_zero = true;
+};
+
+/// Render line/scatter series on shared axes. Series are overdrawn in
+/// order; each uses its own marker, listed in the legend.
+std::string render_chart(const std::vector<series>& data,
+                         const plot_options& options);
+
+/// Render a heatmap of `values` (row-major, rows x cols) using a
+/// luminance ramp; NaN cells render as spaces. `legend` annotates the
+/// ramp.
+std::string render_heatmap(const std::vector<double>& values, int rows,
+                           int cols, const std::string& legend);
+
+/// Render a categorical map (e.g. Figure 3's preference regions): each
+/// cell is an index into `palette`; out-of-range renders as space.
+std::string render_category_map(const std::vector<int>& cells, int rows,
+                                int cols, const std::string& palette);
+
+}  // namespace csense::report

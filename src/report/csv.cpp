@@ -1,0 +1,36 @@
+#include "src/report/csv.hpp"
+
+namespace csense::report {
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string csv_line(const std::vector<std::string>& fields) {
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out += ',';
+        out += csv_escape(fields[i]);
+    }
+    return out;
+}
+
+std::string csv_document(const std::vector<std::vector<std::string>>& rows) {
+    std::string out;
+    for (const auto& row : rows) {
+        out += csv_line(row);
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace csense::report

@@ -1,0 +1,20 @@
+// Minimal CSV emission so bench output can be piped into external
+// plotting tools; fields containing separators/quotes are quoted per
+// RFC 4180.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csense::report {
+
+/// Escape one CSV field.
+std::string csv_escape(const std::string& field);
+
+/// Join fields into one CSV line (no trailing newline).
+std::string csv_line(const std::vector<std::string>& fields);
+
+/// Render rows (first row = header) into CSV text.
+std::string csv_document(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace csense::report

@@ -1,0 +1,58 @@
+#include "src/report/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace csense::report {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("text_table: no headers");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("text_table: row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            out.append(widths[c] - cells[c].size() + 2, ' ');
+        }
+        while (!out.empty() && out.back() == ' ') out.pop_back();
+        out += '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    out.append(total - 2, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+std::string fmt(double value, int precision) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision, 100.0 * fraction);
+    return buffer;
+}
+
+}  // namespace csense::report

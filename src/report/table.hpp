@@ -1,0 +1,32 @@
+// Fixed-width text tables for bench output: every bench binary prints the
+// paper's rows in a form directly comparable with the thesis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csense::report {
+
+/// Simple column-aligned table builder.
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> headers);
+
+    /// Append one row; must match the header count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with column padding and a header underline.
+    std::string render() const;
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt(double value, int precision = 3);
+std::string fmt_percent(double fraction, int precision = 0);
+
+}  // namespace csense::report

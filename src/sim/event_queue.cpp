@@ -1,0 +1,60 @@
+#include "src/sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace csense::sim {
+
+event_id event_queue::schedule(time_us at, std::function<void()> action) {
+    const event_id id = actions_.size();
+    actions_.push_back(std::move(action));
+    cancelled_.push_back(false);
+    heap_.push(entry{at, next_sequence_++, id});
+    ++pending_;
+    return id;
+}
+
+bool event_queue::cancel(event_id id) {
+    if (id >= cancelled_.size() || cancelled_[id] || !actions_[id]) {
+        return false;
+    }
+    cancelled_[id] = true;
+    actions_[id] = nullptr;  // release captured state eagerly
+    --pending_;
+    return true;
+}
+
+void event_queue::drop_cancelled() {
+    while (!heap_.empty() && cancelled_[heap_.top().id]) {
+        heap_.pop();
+    }
+}
+
+bool event_queue::empty() const noexcept { return pending_ == 0; }
+
+time_us event_queue::next_time() const {
+    auto* self = const_cast<event_queue*>(this);
+    self->drop_cancelled();
+    if (heap_.empty()) throw std::logic_error("event_queue::next_time: empty");
+    return heap_.top().at;
+}
+
+time_us event_queue::run_next() {
+    auto [at, action] = pop_next();
+    action();
+    return at;
+}
+
+std::pair<time_us, std::function<void()>> event_queue::pop_next() {
+    drop_cancelled();
+    if (heap_.empty()) throw std::logic_error("event_queue::pop_next: empty");
+    const entry top = heap_.top();
+    heap_.pop();
+    --pending_;
+    auto action = std::move(actions_[top.id]);
+    actions_[top.id] = nullptr;
+    cancelled_[top.id] = true;
+    return {top.at, std::move(action)};
+}
+
+}  // namespace csense::sim

@@ -1,0 +1,69 @@
+// Discrete-event queue with deterministic ordering: events at equal
+// timestamps fire in insertion order (a strict requirement for
+// reproducible MAC simulations, where DIFS expiry and slot boundaries
+// coincide constantly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace csense::sim {
+
+/// Simulation time in microseconds. Double precision keeps sub-slot
+/// resolution over multi-minute runs (2^53 us ~ 285 years).
+using time_us = double;
+
+/// Handle used to cancel a scheduled event.
+using event_id = std::uint64_t;
+
+/// Min-heap of (time, sequence) ordered events.
+class event_queue {
+public:
+    /// Schedule `action` at absolute time `at`; returns a cancellable id.
+    event_id schedule(time_us at, std::function<void()> action);
+
+    /// Cancel a pending event; returns false if already fired/cancelled.
+    bool cancel(event_id id);
+
+    /// True when no pending events remain.
+    bool empty() const noexcept;
+
+    /// Number of pending (uncancelled) events.
+    std::size_t size() const noexcept { return pending_; }
+
+    /// Time of the earliest pending event; requires !empty().
+    time_us next_time() const;
+
+    /// Pop and run the earliest event; returns its time. Requires !empty().
+    /// Note: the action runs with no notion of "now"; simulation kernels
+    /// should use pop_next() and advance their clock before invoking.
+    time_us run_next();
+
+    /// Pop the earliest event without running it; returns its time and
+    /// action so the caller can advance its clock first. Requires !empty().
+    std::pair<time_us, std::function<void()>> pop_next();
+
+private:
+    struct entry {
+        time_us at;
+        std::uint64_t sequence;
+        event_id id;
+
+        bool operator>(const entry& other) const noexcept {
+            if (at != other.at) return at > other.at;
+            return sequence > other.sequence;
+        }
+    };
+
+    void drop_cancelled();
+
+    std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+    std::vector<std::function<void()>> actions_;  // indexed by id
+    std::vector<bool> cancelled_;
+    std::uint64_t next_sequence_ = 0;
+    std::size_t pending_ = 0;
+};
+
+}  // namespace csense::sim

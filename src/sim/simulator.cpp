@@ -1,0 +1,36 @@
+#include "src/sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace csense::sim {
+
+event_id simulator::schedule_in(time_us delay, std::function<void()> action) {
+    if (delay < 0.0) throw std::invalid_argument("schedule_in: negative delay");
+    return queue_.schedule(now_ + delay, std::move(action));
+}
+
+event_id simulator::schedule_at(time_us at, std::function<void()> action) {
+    if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+    return queue_.schedule(at, std::move(action));
+}
+
+void simulator::run_until(time_us until) {
+    while (!queue_.empty() && queue_.next_time() <= until) {
+        auto [at, action] = queue_.pop_next();
+        now_ = at;  // advance the clock before the action runs
+        action();
+        ++executed_;
+    }
+    if (now_ < until) now_ = until;
+}
+
+void simulator::run_all() {
+    while (!queue_.empty()) {
+        auto [at, action] = queue_.pop_next();
+        now_ = at;
+        action();
+        ++executed_;
+    }
+}
+
+}  // namespace csense::sim

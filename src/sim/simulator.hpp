@@ -1,0 +1,41 @@
+// The simulation kernel: a clock plus the event queue, with run-until
+// semantics. MAC components hold a reference to the simulator and
+// schedule relative to now().
+#pragma once
+
+#include "src/sim/event_queue.hpp"
+
+namespace csense::sim {
+
+/// Discrete-event simulator kernel.
+class simulator {
+public:
+    /// Current simulation time (us).
+    time_us now() const noexcept { return now_; }
+
+    /// Schedule an action `delay` microseconds from now (delay >= 0).
+    event_id schedule_in(time_us delay, std::function<void()> action);
+
+    /// Schedule an action at an absolute time (>= now).
+    event_id schedule_at(time_us at, std::function<void()> action);
+
+    /// Cancel a pending event.
+    bool cancel(event_id id) { return queue_.cancel(id); }
+
+    /// Run events until the queue empties or the clock passes `until`.
+    /// Events at exactly `until` are executed.
+    void run_until(time_us until);
+
+    /// Run all events to exhaustion (use only with self-limiting models).
+    void run_all();
+
+    /// Number of events executed so far.
+    std::uint64_t events_executed() const noexcept { return executed_; }
+
+private:
+    event_queue queue_;
+    time_us now_ = 0.0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace csense::sim

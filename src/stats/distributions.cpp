@@ -1,0 +1,101 @@
+#include "src/stats/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace csense::stats {
+
+double normal_pdf(double x) noexcept {
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) noexcept {
+    return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double normal_quantile(double p) {
+    if (!(p > 0.0 && p < 1.0)) {
+        throw std::domain_error("normal_quantile: p must be in (0, 1)");
+    }
+    // Acklam's approximation.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+    double x;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log1p(-p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // One Halley refinement step.
+    const double e = normal_cdf(x) - p;
+    const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(0.5 * x * x);
+    x = x - u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+double lognormal_shadowing::sample(rng& gen) const noexcept {
+    return from_standard_normal(gen.normal());
+}
+
+double lognormal_shadowing::from_standard_normal(double z) const noexcept {
+    return std::pow(10.0, sigma_db_ * z / 10.0);
+}
+
+double lognormal_shadowing::mean() const noexcept {
+    const double s = sigma_db_ * std::numbers::ln10 / 10.0;
+    return std::exp(0.5 * s * s);
+}
+
+double rayleigh_fading::sample_amplitude(rng& gen) noexcept {
+    return std::sqrt(sample_power(gen));
+}
+
+double rayleigh_fading::sample_power(rng& gen) noexcept {
+    return gen.exponential(1.0);
+}
+
+double rician_fading::sample_amplitude(rng& gen) const noexcept {
+    return std::sqrt(sample_power(gen));
+}
+
+double rician_fading::sample_power(rng& gen) const noexcept {
+    // Line-of-sight component has power K/(K+1); scattered component is a
+    // complex Gaussian with total power 1/(K+1).
+    const double los = std::sqrt(k_ / (k_ + 1.0));
+    const double scatter_sigma = std::sqrt(0.5 / (k_ + 1.0));
+    const double re = los + scatter_sigma * gen.normal();
+    const double im = scatter_sigma * gen.normal();
+    return re * re + im * im;
+}
+
+polar_point sample_uniform_disc(rng& gen, double radius) noexcept {
+    return disc_from_uniforms(gen.uniform(), gen.uniform(), radius);
+}
+
+polar_point disc_from_uniforms(double u_radius, double u_angle,
+                               double radius) noexcept {
+    return polar_point{radius * std::sqrt(u_radius),
+                       2.0 * std::numbers::pi * u_angle};
+}
+
+}  // namespace csense::stats

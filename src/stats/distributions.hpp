@@ -1,0 +1,92 @@
+// Probability distributions used throughout the carrier-sense model:
+// lognormal shadowing expressed in dB, Rayleigh/Rician fading amplitudes,
+// uniform sampling in a disc (the paper's receiver placement), and the
+// normal CDF/quantile used in closed-form carrier-sense defer
+// probabilities.
+#pragma once
+
+#include <utility>
+
+#include "src/stats/rng.hpp"
+
+namespace csense::stats {
+
+/// Standard normal probability density.
+double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x) noexcept;
+
+/// Standard normal quantile (inverse CDF) via Acklam's rational
+/// approximation refined by one Halley step. Requires 0 < p < 1.
+double normal_quantile(double p);
+
+/// Lognormal shadowing: a multiplicative power factor whose dB value is
+/// N(0, sigma_db^2). This is the paper's L_sigma.
+class lognormal_shadowing {
+public:
+    explicit lognormal_shadowing(double sigma_db) noexcept
+        : sigma_db_(sigma_db) {}
+
+    /// Standard deviation in dB.
+    double sigma_db() const noexcept { return sigma_db_; }
+
+    /// Draw a linear power factor (median 1).
+    double sample(rng& gen) const noexcept;
+
+    /// Convert a standard-normal deviate into the linear power factor.
+    /// Used by quadrature rules that integrate over the shadowing axis.
+    double from_standard_normal(double z) const noexcept;
+
+    /// E[L] = exp((ln10/10 * sigma)^2 / 2): lognormal mean exceeds median.
+    double mean() const noexcept;
+
+private:
+    double sigma_db_;
+};
+
+/// Rayleigh-distributed amplitude with unit mean *power* (E[a^2] = 1):
+/// the narrowband fading amplitude with no line of sight.
+class rayleigh_fading {
+public:
+    /// Draw an amplitude; the squared value is the power fade factor.
+    static double sample_amplitude(rng& gen) noexcept;
+
+    /// Draw a power fade factor directly (exponential with mean 1).
+    static double sample_power(rng& gen) noexcept;
+};
+
+/// Rician-distributed amplitude with K-factor (ratio of line-of-sight to
+/// scattered power) and unit mean power.
+class rician_fading {
+public:
+    explicit rician_fading(double k_factor) noexcept : k_(k_factor) {}
+
+    double k_factor() const noexcept { return k_; }
+
+    /// Draw an amplitude; the squared value is the power fade factor.
+    double sample_amplitude(rng& gen) const noexcept;
+
+    /// Draw a power fade factor.
+    double sample_power(rng& gen) const noexcept;
+
+private:
+    double k_;
+};
+
+/// A point sampled uniformly over a disc of radius `radius`, returned in
+/// polar coordinates (r, theta). This is the paper's receiver placement
+/// within network range Rmax.
+struct polar_point {
+    double r;
+    double theta;
+};
+
+polar_point sample_uniform_disc(rng& gen, double radius) noexcept;
+
+/// Map two uniforms in [0,1) to a uniform-in-disc polar point; used by
+/// deterministic low-discrepancy and common-random-number designs.
+polar_point disc_from_uniforms(double u_radius, double u_angle,
+                               double radius) noexcept;
+
+}  // namespace csense::stats

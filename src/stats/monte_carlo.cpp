@@ -1,0 +1,31 @@
+#include "src/stats/monte_carlo.hpp"
+
+namespace csense::stats {
+
+mc_estimate mc_expectation(const std::function<double(rng&)>& f, const rng& base,
+                           std::size_t samples) {
+    running_summary summary;
+    for (std::size_t i = 0; i < samples; ++i) {
+        rng stream = base.split(static_cast<std::uint64_t>(i));
+        summary.add(f(stream));
+    }
+    return {summary.mean(), summary.stderr_mean(), summary.count()};
+}
+
+mc_estimate mc_expectation_adaptive(const std::function<double(rng&)>& f,
+                                    const rng& base, double target_stderr,
+                                    std::size_t max_samples, std::size_t chunk) {
+    running_summary summary;
+    std::size_t i = 0;
+    while (i < max_samples) {
+        const std::size_t stop = (i + chunk < max_samples) ? i + chunk : max_samples;
+        for (; i < stop; ++i) {
+            rng stream = base.split(static_cast<std::uint64_t>(i));
+            summary.add(f(stream));
+        }
+        if (summary.count() >= 2 && summary.stderr_mean() <= target_stderr) break;
+    }
+    return {summary.mean(), summary.stderr_mean(), summary.count()};
+}
+
+}  // namespace csense::stats

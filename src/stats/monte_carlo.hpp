@@ -1,0 +1,39 @@
+// Monte Carlo estimation with common random numbers.
+//
+// The joint "optimal MAC" average in the carrier-sense model integrates
+// over four spatial coordinates and four shadowing draws, which is beyond
+// practical tensor-product quadrature; we estimate it by Monte Carlo.
+// Estimates across a parameter sweep (e.g. a D sweep at fixed Rmax) reuse
+// the same random inputs per sample index, so differences between sweep
+// points are far less noisy than the points themselves.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/stats/rng.hpp"
+#include "src/stats/summary.hpp"
+
+namespace csense::stats {
+
+/// Result of a Monte Carlo estimation.
+struct mc_estimate {
+    double mean = 0.0;
+    double stderr_mean = 0.0;
+    std::size_t samples = 0;
+};
+
+/// Estimate E[f] where f consumes a per-sample RNG stream. Sample i draws
+/// from `base.split(i)`, so two estimations with the same base seed see
+/// identical random inputs per index (common random numbers).
+mc_estimate mc_expectation(const std::function<double(rng&)>& f, const rng& base,
+                           std::size_t samples);
+
+/// Estimate E[f] until the standard error of the mean drops below
+/// `target_stderr` or `max_samples` is reached, in chunks of `chunk`.
+mc_estimate mc_expectation_adaptive(const std::function<double(rng&)>& f,
+                                    const rng& base, double target_stderr,
+                                    std::size_t max_samples,
+                                    std::size_t chunk = 4096);
+
+}  // namespace csense::stats

@@ -1,0 +1,102 @@
+#include "src/stats/rng.hpp"
+
+#include <cmath>
+
+namespace csense::stats {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t hash_tag(std::string_view tag) noexcept {
+    // FNV-1a, then one splitmix64 round for avalanche.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : tag) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return splitmix64(h);
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept : seed_(seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() noexcept {
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t rng::uniform_int(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method, debiased.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+}
+
+double rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double rng::exponential(double rate) noexcept {
+    return -std::log1p(-uniform()) / rate;
+}
+
+rng rng::split(std::string_view tag) const noexcept {
+    return split(hash_tag(tag));
+}
+
+rng rng::split(std::uint64_t tag) const noexcept {
+    std::uint64_t s = seed_ ^ rotl(tag, 32) ^ 0xa5a5a5a5a5a5a5a5ULL;
+    // Mix once more so that adjacent integer tags give unrelated streams.
+    s = splitmix64(s);
+    return rng{s ^ tag};
+}
+
+}  // namespace csense::stats

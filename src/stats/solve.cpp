@@ -1,0 +1,225 @@
+#include "src/stats/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace csense::stats {
+
+root_result find_root(const std::function<double(double)>& f, double a, double b,
+                      double tol, int max_iter) {
+    double fa = f(a);
+    double fb = f(b);
+    if (fa == 0.0) return {a, fa, 0, true};
+    if (fb == 0.0) return {b, fb, 0, true};
+    if ((fa > 0.0) == (fb > 0.0)) {
+        throw std::invalid_argument("find_root: f(a) and f(b) must bracket a root");
+    }
+    double c = a, fc = fa;
+    double d = b - a, e = d;
+    root_result result;
+    for (int iter = 1; iter <= max_iter; ++iter) {
+        result.iterations = iter;
+        if ((fb > 0.0) == (fc > 0.0)) {
+            c = a;
+            fc = fa;
+            d = e = b - a;
+        }
+        if (std::abs(fc) < std::abs(fb)) {
+            a = b; b = c; c = a;
+            fa = fb; fb = fc; fc = fa;
+        }
+        const double tol1 = 2.0 * 1e-16 * std::abs(b) + 0.5 * tol;
+        const double xm = 0.5 * (c - b);
+        if (std::abs(xm) <= tol1 || fb == 0.0) {
+            result.x = b;
+            result.fx = fb;
+            result.converged = true;
+            return result;
+        }
+        if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+            double p, q;
+            const double s = fb / fa;
+            if (a == c) {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                const double qq = fa / fc;
+                const double r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if (p > 0.0) q = -q;
+            p = std::abs(p);
+            if (2.0 * p < std::min(3.0 * xm * q - std::abs(tol1 * q), std::abs(e * q))) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += (std::abs(d) > tol1) ? d : (xm > 0 ? tol1 : -tol1);
+        fb = f(b);
+    }
+    result.x = b;
+    result.fx = fb;
+    result.converged = false;
+    return result;
+}
+
+min_result minimize(const std::function<double(double)>& f, double a, double b,
+                    double tol, int max_iter) {
+    constexpr double golden = 0.3819660112501051;
+    double x = a + golden * (b - a);
+    double w = x, v = x;
+    double fx = f(x), fw = fx, fv = fx;
+    double d = 0.0, e = 0.0;
+    min_result result;
+    for (int iter = 1; iter <= max_iter; ++iter) {
+        result.iterations = iter;
+        const double xm = 0.5 * (a + b);
+        const double tol1 = tol * std::abs(x) + 1e-12;
+        const double tol2 = 2.0 * tol1;
+        if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) break;
+        bool use_golden = true;
+        if (std::abs(e) > tol1) {
+            // Parabolic fit through (x, w, v).
+            const double r = (x - w) * (fx - fv);
+            double q = (x - v) * (fx - fw);
+            double p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if (q > 0.0) p = -p;
+            q = std::abs(q);
+            const double e_old = e;
+            e = d;
+            if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a - x) &&
+                p < q * (b - x)) {
+                d = p / q;
+                const double u = x + d;
+                if (u - a < tol2 || b - u < tol2) d = (xm > x) ? tol1 : -tol1;
+                use_golden = false;
+            }
+        }
+        if (use_golden) {
+            e = (x >= xm) ? a - x : b - x;
+            d = golden * e;
+        }
+        const double u = (std::abs(d) >= tol1) ? x + d : x + (d > 0 ? tol1 : -tol1);
+        const double fu = f(u);
+        if (fu <= fx) {
+            if (u >= x) a = x; else b = x;
+            v = w; w = x; x = u;
+            fv = fw; fw = fx; fx = fu;
+        } else {
+            if (u < x) a = u; else b = u;
+            if (fu <= fw || w == x) {
+                v = w; w = u;
+                fv = fw; fw = fu;
+            } else if (fu <= fv || v == x || v == w) {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    result.x = x;
+    result.fx = fx;
+    return result;
+}
+
+nelder_mead_result nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, std::vector<double> scale, double tol,
+    int max_iter) {
+    const std::size_t n = start.size();
+    if (scale.size() != n) {
+        throw std::invalid_argument("nelder_mead: start/scale size mismatch");
+    }
+    std::vector<std::vector<double>> simplex(n + 1, start);
+    std::vector<double> values(n + 1);
+    for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += scale[i];
+    for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+    std::vector<std::size_t> order(n + 1);
+    nelder_mead_result result;
+    for (int iter = 1; iter <= max_iter; ++iter) {
+        result.iterations = iter;
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+        const std::size_t best = order[0];
+        const std::size_t worst = order[n];
+        const std::size_t second_worst = order[n - 1];
+        if (std::abs(values[worst] - values[best]) <=
+            tol * (std::abs(values[worst]) + std::abs(values[best]) + 1e-30)) {
+            result.converged = true;
+            result.x = simplex[best];
+            result.fx = values[best];
+            return result;
+        }
+        // Centroid of all points but the worst.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == worst) continue;
+            for (std::size_t k = 0; k < n; ++k) centroid[k] += simplex[i][k];
+        }
+        for (double& c : centroid) c /= static_cast<double>(n);
+
+        auto affine = [&](double t) {
+            std::vector<double> p(n);
+            for (std::size_t k = 0; k < n; ++k) {
+                p[k] = centroid[k] + t * (simplex[worst][k] - centroid[k]);
+            }
+            return p;
+        };
+
+        auto reflected = affine(-1.0);
+        const double fr = f(reflected);
+        if (fr < values[best]) {
+            auto expanded = affine(-2.0);
+            const double fe = f(expanded);
+            if (fe < fr) {
+                simplex[worst] = std::move(expanded);
+                values[worst] = fe;
+            } else {
+                simplex[worst] = std::move(reflected);
+                values[worst] = fr;
+            }
+        } else if (fr < values[second_worst]) {
+            simplex[worst] = std::move(reflected);
+            values[worst] = fr;
+        } else {
+            auto contracted = affine(fr < values[worst] ? -0.5 : 0.5);
+            const double fc = f(contracted);
+            if (fc < std::min(fr, values[worst])) {
+                simplex[worst] = std::move(contracted);
+                values[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 0; i <= n; ++i) {
+                    if (i == best) continue;
+                    for (std::size_t k = 0; k < n; ++k) {
+                        simplex[i][k] =
+                            simplex[best][k] + 0.5 * (simplex[i][k] - simplex[best][k]);
+                    }
+                    values[i] = f(simplex[i]);
+                }
+            }
+        }
+    }
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    result.x = simplex[order[0]];
+    result.fx = values[order[0]];
+    result.converged = false;
+    return result;
+}
+
+}  // namespace csense::stats

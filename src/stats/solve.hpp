@@ -1,0 +1,52 @@
+// Scalar root finding and optimization used by the carrier-sense model:
+// Brent's method locates the concurrency/multiplexing crossing point
+// (the optimal carrier-sense threshold), Brent minimization tunes scalar
+// thresholds under shadowing, and Nelder-Mead fits the propagation model
+// of Figure 14 by maximum likelihood.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace csense::stats {
+
+/// Result of a scalar root search.
+struct root_result {
+    double x = 0.0;
+    double fx = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Find a root of f in [a, b] by Brent's method. Requires f(a) and f(b)
+/// to have opposite signs (throws std::invalid_argument otherwise).
+root_result find_root(const std::function<double(double)>& f, double a, double b,
+                      double tol = 1e-10, int max_iter = 200);
+
+/// Result of a scalar minimization.
+struct min_result {
+    double x = 0.0;
+    double fx = 0.0;
+    int iterations = 0;
+};
+
+/// Minimize f over [a, b] by Brent's parabolic-interpolation method.
+min_result minimize(const std::function<double(double)>& f, double a, double b,
+                    double tol = 1e-8, int max_iter = 200);
+
+/// Result of a Nelder-Mead search.
+struct nelder_mead_result {
+    std::vector<double> x;
+    double fx = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Minimize a multivariate function by the Nelder-Mead simplex method,
+/// starting from `start` with initial simplex scale `scale` per axis.
+nelder_mead_result nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, std::vector<double> scale, double tol = 1e-9,
+    int max_iter = 5000);
+
+}  // namespace csense::stats

@@ -1,0 +1,57 @@
+#include "src/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/distributions.hpp"
+
+namespace csense::stats {
+
+void running_summary::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void running_summary::merge(const running_summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double running_summary::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_summary::stderr_mean() const noexcept {
+    if (count_ == 0) return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double running_summary::ci_halfwidth(double confidence) const {
+    if (count_ < 2) return 0.0;
+    const double z = normal_quantile(0.5 + 0.5 * confidence);
+    return z * stderr_mean();
+}
+
+}  // namespace csense::stats

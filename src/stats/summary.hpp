@@ -1,0 +1,44 @@
+// Streaming descriptive statistics (Welford's algorithm) with normal-theory
+// confidence intervals, used by the Monte Carlo engine and by the testbed
+// experiment harness to report run-to-run variation.
+#pragma once
+
+#include <cstddef>
+
+namespace csense::stats {
+
+/// Single-pass running mean / variance / extrema accumulator.
+class running_summary {
+public:
+    /// Incorporate one observation.
+    void add(double x) noexcept;
+
+    /// Merge another summary into this one (parallel reduction).
+    void merge(const running_summary& other) noexcept;
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept { return mean_; }
+
+    /// Unbiased sample variance; 0 for fewer than two observations.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+
+    /// Standard error of the mean.
+    double stderr_mean() const noexcept;
+
+    /// Half-width of the normal-theory confidence interval at the given
+    /// two-sided confidence level (default 95%).
+    double ci_halfwidth(double confidence = 0.95) const;
+
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace csense::stats

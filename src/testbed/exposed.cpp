@@ -1,0 +1,91 @@
+#include "src/testbed/exposed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/mac/network.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::testbed {
+
+exposed_gain_result run_exposed_gain_experiment(
+    const testbed& bed, const experiment_config& config) {
+    if (!bed.matrix) {
+        throw std::invalid_argument("run_exposed_gain_experiment: no matrix");
+    }
+    const auto& matrix = *bed.matrix;
+    const capacity::logistic_per_model errors(config.logistic_width_db);
+    const auto& base_rate = capacity::rate_by_mbps(6.0);
+    const auto candidates = matrix.links_by_delivery(
+        config.category_lo, config.category_hi, base_rate,
+        config.payload_bytes, errors);
+    if (candidates.size() < 4) {
+        throw std::runtime_error(
+            "run_exposed_gain_experiment: too few category links");
+    }
+    const auto& rates = capacity::thesis_sweep_rates();
+    const double duration_us = config.duration_s * 1e6;
+    stats::rng picker(config.seed);
+
+    exposed_gain_result result;
+    for (int run = 0; run < config.runs; ++run) {
+        link p1{}, p2{};
+        int attempts = 0;
+        do {
+            p1 = candidates[picker.uniform_int(candidates.size())];
+            p2 = candidates[picker.uniform_int(candidates.size())];
+            if (++attempts > 1000) {
+                throw std::runtime_error(
+                    "run_exposed_gain_experiment: cannot find disjoint pairs");
+            }
+        } while (p1.sender == p2.sender || p1.sender == p2.receiver ||
+                 p1.receiver == p2.sender || p1.receiver == p2.receiver);
+
+        mac::two_pair_gains gains;
+        gains.s1_r1 = matrix.gain_db(p1.sender, p1.receiver);
+        gains.s2_r2 = matrix.gain_db(p2.sender, p2.receiver);
+        gains.s1_s2 = matrix.gain_db(p1.sender, p2.sender);
+        gains.s1_r2 = matrix.gain_db(p1.sender, p2.receiver);
+        gains.s2_r1 = matrix.gain_db(p2.sender, p1.receiver);
+        gains.r1_r2 = matrix.gain_db(p1.receiver, p2.receiver);
+        const std::uint64_t run_seed =
+            config.seed * 2000003ULL + static_cast<std::uint64_t>(run);
+
+        double base_cs = 0.0, base_conc = 0.0;
+        double best_cs = 0.0, best_conc = 0.0;
+        for (const auto mode :
+             {mac::cs_mode::energy_and_preamble, mac::cs_mode::disabled}) {
+            double best_p1 = 0.0, best_p2 = 0.0;
+            double base_total = 0.0;
+            for (const auto& rate : rates) {
+                const auto joint = mac::run_two_pair_competition(
+                    bed.radio, gains, rate, rate, mode, duration_us,
+                    config.payload_bytes, run_seed ^ 0x444);
+                if (rate.mbps == 6.0) {
+                    base_total = joint.total_pps();
+                }
+                best_p1 = std::max(best_p1, joint.pps_pair1);
+                best_p2 = std::max(best_p2, joint.pps_pair2);
+            }
+            if (mode == mac::cs_mode::energy_and_preamble) {
+                base_cs = base_total;
+                best_cs = best_p1 + best_p2;
+            } else {
+                base_conc = base_total;
+                best_conc = best_p1 + best_p2;
+            }
+        }
+        result.base_cs += base_cs;
+        result.base_exposed += std::max(base_cs, base_conc);
+        result.adapted_cs += best_cs;
+        result.adapted_exposed += std::max(best_cs, best_conc);
+    }
+    const auto n = static_cast<double>(config.runs);
+    result.base_cs /= n;
+    result.base_exposed /= n;
+    result.adapted_cs /= n;
+    result.adapted_exposed /= n;
+    return result;
+}
+
+}  // namespace csense::testbed

@@ -1,0 +1,51 @@
+#include "src/testbed/layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/rng.hpp"
+
+namespace csense::testbed {
+
+std::vector<placed_node> make_layout(const building& b, int count,
+                                     std::uint64_t seed) {
+    if (count < 1 || b.floors < 1) {
+        throw std::invalid_argument("make_layout: count and floors must be >= 1");
+    }
+    std::vector<placed_node> nodes;
+    nodes.reserve(count);
+    stats::rng gen(seed);
+    const int per_floor = (count + b.floors - 1) / b.floors;
+    // Grid shape close to the floor's aspect ratio.
+    const int cols = std::max(
+        1, static_cast<int>(std::lround(
+               std::sqrt(per_floor * b.width_m / b.depth_m))));
+    const int rows = (per_floor + cols - 1) / cols;
+    const double dx = b.width_m / cols;
+    const double dy = b.depth_m / rows;
+    for (int i = 0; i < count; ++i) {
+        const int floor = i / per_floor;
+        const int slot = i % per_floor;
+        const int cx = slot % cols;
+        const int cy = slot / cols;
+        placed_node node;
+        node.id = static_cast<std::uint32_t>(i);
+        node.floor = floor;
+        // Jitter within the central 80% of the grid cell.
+        node.pos.x = (cx + 0.1 + 0.8 * gen.uniform()) * dx;
+        node.pos.y = (cy + 0.1 + 0.8 * gen.uniform()) * dy;
+        node.pos.z = floor * b.floor_height_m;
+        nodes.push_back(node);
+    }
+    return nodes;
+}
+
+double node_distance_m(const placed_node& a, const placed_node& b) {
+    return propagation::distance(a.pos, b.pos);
+}
+
+int floors_crossed(const placed_node& a, const placed_node& b) {
+    return std::abs(a.floor - b.floor);
+}
+
+}  // namespace csense::testbed

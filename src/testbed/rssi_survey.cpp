@@ -1,0 +1,46 @@
+#include "src/testbed/rssi_survey.hpp"
+
+#include <stdexcept>
+
+#include "src/stats/rng.hpp"
+
+namespace csense::testbed {
+
+rssi_survey_result run_rssi_survey(const testbed& bed,
+                                   const rssi_survey_config& config) {
+    // The survey runs in the 2.4 GHz band, like the thesis' (fn. 20).
+    if (!bed.matrix_24ghz) {
+        throw std::invalid_argument("run_rssi_survey: no 2.4 GHz matrix");
+    }
+    const auto& matrix = *bed.matrix_24ghz;
+    rssi_survey_result result;
+    result.true_alpha = bed.channel_24ghz.alpha;
+    result.true_sigma_db = bed.channel_24ghz.sigma_db;
+    stats::rng gen(config.seed);
+
+    for (std::uint32_t a = 0; a < bed.nodes.size(); ++a) {
+        for (std::uint32_t b = a + 1; b < bed.nodes.size(); ++b) {
+            propagation::rssi_observation obs;
+            obs.distance = node_distance_m(bed.nodes[a], bed.nodes[b]);
+            const double snr = matrix.snr_db(a, b) +
+                               config.measurement_noise_db * gen.normal();
+            if (snr < config.detection_threshold_db) {
+                obs.censored = true;
+                ++result.censored_count;
+            } else {
+                obs.snr_db = snr;
+            }
+            result.observations.push_back(obs);
+        }
+    }
+
+    result.fit = propagation::fit_path_loss(
+        result.observations, config.reference_distance_m,
+        config.detection_threshold_db, propagation::censoring_mode::censored);
+    result.naive_fit = propagation::fit_path_loss(
+        result.observations, config.reference_distance_m,
+        config.detection_threshold_db, propagation::censoring_mode::ignore);
+    return result;
+}
+
+}  // namespace csense::testbed

@@ -1,0 +1,37 @@
+// The Figure 14 survey: measure "RSSI" (mean SNR) for every detectable
+// node pair in the testbed, mark sub-threshold pairs as censored, and fit
+// the path-loss/shadowing model by maximum likelihood - recovering the
+// parameters the channel was generated with (the thesis recovers
+// alpha = 3.6, sigma = 10.4 dB on its hardware).
+#pragma once
+
+#include <vector>
+
+#include "src/propagation/ml_fit.hpp"
+#include "src/testbed/experiment.hpp"
+
+namespace csense::testbed {
+
+/// Survey configuration.
+struct rssi_survey_config {
+    double detection_threshold_db = 4.0;  ///< SNR below which pairs vanish
+    double measurement_noise_db = 1.0;    ///< residual probe averaging noise
+    double reference_distance_m = 20.0;   ///< the thesis quotes RSSI0(R=20)
+    std::uint64_t seed = 3;
+};
+
+/// Survey result: dataset plus corrected and naive fits.
+struct rssi_survey_result {
+    std::vector<propagation::rssi_observation> observations;
+    propagation::path_loss_fit fit;        ///< censoring-corrected ML
+    propagation::path_loss_fit naive_fit;  ///< ignores invisible links
+    double true_alpha = 0.0;
+    double true_sigma_db = 0.0;
+    int censored_count = 0;
+};
+
+/// Run the survey over all node pairs of the testbed.
+rssi_survey_result run_rssi_survey(const testbed& bed,
+                                   const rssi_survey_config& config);
+
+}  // namespace csense::testbed

@@ -1,0 +1,262 @@
+// The expectation engine: limits, orderings, the carrier-sense piecewise
+// structure, defer probabilities, the U-statistic estimator, and the
+// §3.4 Jensen effect of shadowing at long range.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/expected.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using namespace csense::core;
+
+expectation_engine make_engine(double sigma = 0.0) {
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = sigma;
+    p.noise_db = -65.0;
+    quadrature_options q;
+    q.radial_nodes = 32;
+    q.angular_nodes = 48;
+    q.shadow_nodes = 12;
+    mc_options mc;
+    mc.samples = 30000;
+    return expectation_engine(p, q, mc);
+}
+
+TEST(Expected, SingleDecreasesWithRange) {
+    const auto engine = make_engine();
+    double prev = 1e18;
+    for (double rmax : {10.0, 20.0, 40.0, 80.0, 120.0}) {
+        const double c = engine.expected_single(rmax);
+        EXPECT_GT(c, 0.0);
+        EXPECT_LT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Expected, MultiplexingIsHalfSingle) {
+    const auto engine = make_engine();
+    EXPECT_DOUBLE_EQ(engine.expected_multiplexing(55.0),
+                     0.5 * engine.expected_single(55.0));
+}
+
+class ConcurrentMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConcurrentMonotone, IncreasesWithD) {
+    const double rmax = GetParam();
+    const auto engine = make_engine();
+    double prev = 0.0;
+    for (double d = 2.0; d <= 400.0; d *= 1.6) {
+        const double c = engine.expected_concurrent(rmax, d);
+        EXPECT_GT(c, prev) << "rmax " << rmax << " d " << d;
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, ConcurrentMonotone,
+                         ::testing::Values(20.0, 55.0, 120.0));
+
+TEST(Expected, ConcurrentLimits) {
+    const auto engine = make_engine();
+    const double single = engine.expected_single(20.0);
+    // Far interferer: concurrency approaches the competition-free value
+    // (each sender transmits all the time).
+    EXPECT_NEAR(engine.expected_concurrent(20.0, 5000.0), single,
+                single * 0.01);
+    // Collocated-ish interferer: far below multiplexing.
+    EXPECT_LT(engine.expected_concurrent(20.0, 0.5),
+              engine.expected_multiplexing(20.0));
+}
+
+TEST(Expected, DeferProbabilityStepWithoutShadowing) {
+    const auto engine = make_engine(0.0);
+    EXPECT_DOUBLE_EQ(engine.defer_probability(54.9, 55.0), 1.0);
+    EXPECT_DOUBLE_EQ(engine.defer_probability(55.1, 55.0), 0.0);
+}
+
+TEST(Expected, DeferProbabilityUnderShadowing) {
+    const auto engine = make_engine(8.0);
+    // At the threshold the sensing margin is 0 dB: 50/50.
+    EXPECT_NEAR(engine.defer_probability(55.0, 55.0), 0.5, 1e-12);
+    // Monotone decreasing in D.
+    double prev = 1.0;
+    for (double d = 10.0; d <= 300.0; d *= 1.4) {
+        const double pd = engine.defer_probability(d, 55.0);
+        EXPECT_LE(pd, prev + 1e-12);
+        EXPECT_GE(pd, 0.0);
+        EXPECT_LE(pd, 1.0);
+        prev = pd;
+    }
+    // Far from the threshold the decision is nearly deterministic.
+    EXPECT_GT(engine.defer_probability(10.0, 55.0), 0.99);
+    EXPECT_LT(engine.defer_probability(300.0, 55.0), 0.02);
+}
+
+TEST(Expected, DeferProbabilityZeroThresholdNeverDefers) {
+    const auto engine = make_engine(8.0);
+    EXPECT_DOUBLE_EQ(engine.defer_probability(10.0, 0.0), 0.0);
+}
+
+TEST(Expected, CarrierSensePiecewiseWithoutShadowing) {
+    const auto engine = make_engine(0.0);
+    const double d_thresh = 55.0;
+    const double mux = engine.expected_multiplexing(40.0);
+    // Below the threshold CS is exactly multiplexing.
+    EXPECT_DOUBLE_EQ(engine.expected_carrier_sense(40.0, 30.0, d_thresh), mux);
+    // Above, exactly concurrency.
+    EXPECT_DOUBLE_EQ(engine.expected_carrier_sense(40.0, 90.0, d_thresh),
+                     engine.expected_concurrent(40.0, 90.0));
+}
+
+TEST(Expected, CarrierSenseInterpolatesUnderShadowing) {
+    const auto engine = make_engine(8.0);
+    const double mux = engine.expected_multiplexing(40.0);
+    const double conc = engine.expected_concurrent(40.0, 55.0);
+    const double cs = engine.expected_carrier_sense(40.0, 55.0, 55.0);
+    EXPECT_GT(cs, std::min(mux, conc) - 1e-12);
+    EXPECT_LT(cs, std::max(mux, conc) + 1e-12);
+}
+
+TEST(Expected, OptimalDominatesBothPolicies) {
+    for (double sigma : {0.0, 8.0}) {
+        const auto engine = make_engine(sigma);
+        for (double d : {20.0, 55.0, 120.0}) {
+            const auto opt = engine.expected_optimal(55.0, d);
+            const double mux = engine.expected_multiplexing(55.0);
+            const double conc = engine.expected_concurrent(55.0, d);
+            const double slack = 3.0 * opt.stderr_mean + 2e-3;
+            EXPECT_GE(opt.mean, mux - slack) << "sigma " << sigma << " d " << d;
+            EXPECT_GE(opt.mean, conc - slack) << "sigma " << sigma << " d " << d;
+        }
+    }
+}
+
+TEST(Expected, UpperBoundDominatesOptimal) {
+    // <C_UBmax> >= <C_max>: the per-pair bound ignores the coupling
+    // constraint (footnote 10's gap).
+    const auto engine = make_engine(0.0);
+    for (double d : {30.0, 55.0, 90.0}) {
+        const auto opt = engine.expected_optimal(55.0, d);
+        const double ub = engine.expected_upper_bound(55.0, d);
+        EXPECT_GE(ub, opt.mean - 3.0 * opt.stderr_mean) << "d = " << d;
+    }
+}
+
+TEST(Expected, OptimalConvergesToBranchesAtExtremes) {
+    const auto engine = make_engine(0.0);
+    // Small D: optimal ~ multiplexing. Large D: optimal ~ concurrency.
+    const auto near = engine.expected_optimal(55.0, 2.0);
+    EXPECT_NEAR(near.mean, engine.expected_multiplexing(55.0),
+                0.01 * near.mean);
+    const auto far = engine.expected_optimal(55.0, 2000.0);
+    EXPECT_NEAR(far.mean, engine.expected_concurrent(55.0, 2000.0),
+                0.01 * far.mean);
+}
+
+TEST(RectifiedPairMean, MatchesBruteForce) {
+    csense::stats::rng gen(17);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<double> samples;
+        const int k = 40 + trial * 30;
+        for (int i = 0; i < k; ++i) samples.push_back(gen.normal(0.1, 1.0));
+        double brute = 0.0;
+        for (int i = 0; i < k; ++i) {
+            for (int j = 0; j < k; ++j) {
+                if (i == j) continue;
+                brute += std::max(samples[i] + samples[j], 0.0);
+            }
+        }
+        brute /= static_cast<double>(k) * (k - 1);
+        const auto fast = rectified_pair_mean(samples);
+        EXPECT_NEAR(fast.mean, brute, 1e-10) << "k = " << k;
+    }
+}
+
+TEST(RectifiedPairMean, AllNegativeGivesZero) {
+    const auto result = rectified_pair_mean({-5.0, -1.0, -2.0, -0.5});
+    EXPECT_DOUBLE_EQ(result.mean, 0.0);
+}
+
+TEST(RectifiedPairMean, AllPositiveGivesSumStructure) {
+    // E[(x+y)^+] over i != j of {1, 2} = (1+2 + 2+1) / 2 = 3.
+    const auto result = rectified_pair_mean({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(result.mean, 3.0);
+}
+
+TEST(RectifiedPairMean, RejectsTinySamples) {
+    EXPECT_THROW(rectified_pair_mean({1.0}), std::invalid_argument);
+}
+
+TEST(Expected, ShadowingRaisesLongRangeConcurrency) {
+    // §3.4: "incorporating zero-mean variation ... has a net positive
+    // impact on average capacity", particularly at long range under
+    // concurrency ("you can't make a bad link worse than no link, but you
+    // can make it a whole lot better").
+    const auto det = make_engine(0.0);
+    const auto shadowed = make_engine(8.0);
+    const double c_det = det.expected_concurrent(120.0, 120.0);
+    const double c_shadow = shadowed.expected_concurrent(120.0, 120.0);
+    EXPECT_GT(c_shadow, c_det * 1.05);
+}
+
+TEST(Expected, SampleDeltasCommonRandomNumbers) {
+    const auto engine = make_engine(8.0);
+    const auto a = engine.sample_deltas(55.0, 54.0, 500);
+    const auto b = engine.sample_deltas(55.0, 56.0, 500);
+    ASSERT_EQ(a.size(), b.size());
+    // With common random numbers the per-index difference reflects only
+    // the 2-unit interferer move; with an independent stream it reflects
+    // the full configuration variance. CRN should be far tighter.
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = 8.0;
+    quadrature_options q;
+    mc_options other_seed;
+    other_seed.samples = 30000;
+    other_seed.seed = 777;
+    const expectation_engine independent(p, q, other_seed);
+    const auto c = independent.sample_deltas(55.0, 56.0, 500);
+    double crn_diff = 0.0, ind_diff = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        crn_diff += std::abs(a[i] - b[i]);
+        ind_diff += std::abs(a[i] - c[i]);
+    }
+    EXPECT_LT(crn_diff, ind_diff / 3.0);
+}
+
+TEST(Expected, FixedRateVariantsBehave) {
+    const auto engine = make_engine(0.0);
+    const double rate = 3.0;  // bits/s/Hz
+    // Multiplexing: half the rate times the coverage probability; bounded
+    // by rate/2 and decreasing in Rmax.
+    const double mux20 = engine.expected_multiplexing_fixed_rate(20.0, rate);
+    const double mux120 = engine.expected_multiplexing_fixed_rate(120.0, rate);
+    EXPECT_LE(mux20, rate / 2.0 + 1e-12);
+    EXPECT_GT(mux20, mux120);
+    // Concurrent: increases with D and saturates below `rate`.
+    const double near = engine.expected_concurrent_fixed_rate(20.0, 5.0, rate);
+    const double far = engine.expected_concurrent_fixed_rate(20.0, 500.0, rate);
+    EXPECT_LT(near, far);
+    EXPECT_LE(far, rate + 1e-12);
+}
+
+TEST(Expected, InputValidation) {
+    const auto engine = make_engine();
+    EXPECT_THROW(engine.expected_single(0.0), std::domain_error);
+    EXPECT_THROW(engine.expected_concurrent(-5.0, 10.0), std::domain_error);
+    EXPECT_THROW(engine.defer_probability(0.0, 10.0), std::domain_error);
+    model_params bad;
+    bad.alpha = -1.0;
+    EXPECT_THROW(expectation_engine(bad, {}, {}), std::invalid_argument);
+    mc_options tiny;
+    tiny.samples = 2;
+    EXPECT_THROW(expectation_engine(model_params{}, {}, tiny),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Extension modules: the fairness analysis of §3.3.3's starvation claims
+// and the n > 2 senders generalization of §3.2.1.
+#include <gtest/gtest.h>
+
+#include "src/core/fairness.hpp"
+#include "src/core/multi_sender.hpp"
+#include "src/core/threshold.hpp"
+
+namespace {
+
+using namespace csense::core;
+
+expectation_engine make_engine(double sigma) {
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = sigma;
+    quadrature_options q;
+    q.radial_nodes = 28;
+    q.angular_nodes = 40;
+    q.shadow_nodes = 10;
+    return expectation_engine(p, q, {30000, 42});
+}
+
+TEST(Fairness, ShortRangeNoStarvationAnywhere) {
+    // §3.3.3: "In short range networks ... every receiver has a
+    // reasonable share, because whenever concurrency is employed,
+    // interferers are too far from the network to have a localized
+    // impact."
+    const auto engine = make_engine(0.0);
+    const double rmax = 20.0;
+    const auto thresh = optimal_threshold(engine, rmax);
+    for (double d : {10.0, 30.0, 50.0, 80.0, 150.0}) {
+        const auto report =
+            analyze_fairness(engine, rmax, d, thresh.d_thresh, 20000);
+        EXPECT_LT(report.starved_fraction, 0.01) << "d = " << d;
+    }
+}
+
+TEST(Fairness, LongRangeStarvesNearInterferer) {
+    // Long range: concurrency runs with the interferer inside the
+    // network; a small nearby fraction is smothered.
+    const auto engine = make_engine(0.0);
+    const double rmax = 120.0;
+    const auto thresh = optimal_threshold(engine, rmax);
+    // Concurrency engages just beyond the threshold, which is inside the
+    // network (long range): the interferer at that distance starves a
+    // visible fraction.
+    const double d = thresh.d_thresh * 1.05;
+    ASSERT_LT(thresh.d_thresh, rmax);  // confirms the long-range premise
+    const auto report = analyze_fairness(engine, rmax, d, thresh.d_thresh,
+                                         20000);
+    EXPECT_GT(report.starved_fraction, 0.01);
+    EXPECT_LT(report.starved_fraction, 0.30);
+}
+
+TEST(Fairness, JainIndexDegradesFromShortToLong) {
+    const auto engine = make_engine(0.0);
+    const auto short_thresh = optimal_threshold(engine, 20.0);
+    const auto long_thresh = optimal_threshold(engine, 120.0);
+    const auto short_report = analyze_fairness(
+        engine, 20.0, short_thresh.d_thresh * 1.05, short_thresh.d_thresh,
+        20000);
+    const auto long_report = analyze_fairness(
+        engine, 120.0, long_thresh.d_thresh * 1.05, long_thresh.d_thresh,
+        20000);
+    EXPECT_GT(short_report.jain_index, long_report.jain_index);
+}
+
+TEST(Fairness, MeanMatchesExpectationEngine) {
+    const auto engine = make_engine(8.0);
+    const auto report = analyze_fairness(engine, 40.0, 55.0, 55.0, 60000);
+    const double expected = engine.expected_carrier_sense(40.0, 55.0, 55.0);
+    EXPECT_NEAR(report.mean, expected, 0.05 * expected);
+}
+
+TEST(Fairness, DeferredNetworkIsFairest) {
+    // With D far inside the threshold the network multiplexes: no
+    // starvation regardless of range.
+    const auto engine = make_engine(8.0);
+    const auto report = analyze_fairness(engine, 120.0, 10.0, 60.0, 20000);
+    EXPECT_LT(report.starved_fraction, 0.01);
+}
+
+TEST(Fairness, RejectsBadArguments) {
+    const auto engine = make_engine(0.0);
+    EXPECT_THROW(analyze_fairness(engine, 0.0, 10.0, 55.0),
+                 std::invalid_argument);
+    EXPECT_THROW(analyze_fairness(engine, 20.0, 10.0, 55.0, 10),
+                 std::invalid_argument);
+}
+
+TEST(MultiSender, ReducesTowardPairModelAtN2) {
+    // The n = 2 multi-sender evaluation should land near the main
+    // engine's numbers (geometry conventions match; MC vs quadrature).
+    model_params p;
+    p.sigma_db = 0.0;
+    const auto engine = make_engine(0.0);
+    const auto ms = evaluate_multi_sender(p, 2, 40.0, 55.0, 55.0, 60000);
+    EXPECT_NEAR(ms.multiplexing, engine.expected_multiplexing(40.0), 0.02);
+    EXPECT_NEAR(ms.concurrent, engine.expected_concurrent(40.0, 55.0), 0.03);
+}
+
+class MultiSenderN : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiSenderN, EfficiencyStaysHighWithTunedThreshold) {
+    // The thesis' §3.2.1 assertion: small n > 2 does not fundamentally
+    // alter the results. With more senders the aggregate interference
+    // grows, so the fair comparison gives each n its own best threshold
+    // (exactly as §3.3.3 ties the two-sender threshold to the
+    // environment); efficiency then stays in the same band.
+    const int n = GetParam();
+    model_params p;
+    p.sigma_db = 8.0;
+    std::vector<double> candidates;
+    for (double t = 25.0; t <= 220.0; t *= 1.25) candidates.push_back(t);
+    for (double rmax : {20.0, 40.0}) {
+        for (double d : {30.0, 55.0, 100.0}) {
+            const auto sweep = evaluate_multi_sender_thresholds(
+                p, n, rmax, d, candidates, 30000);
+            double best = 0.0;
+            for (const auto& point : sweep) {
+                best = std::max(best, point.efficiency());
+                EXPECT_LE(point.carrier_sense, point.optimal + 1e-9);
+                EXPECT_GE(point.optimal,
+                          std::max(point.multiplexing, point.concurrent) -
+                              1e-9);
+            }
+            // The binary cluster approximation (everyone defers if any
+            // pair senses) is pessimistic for larger n - real DCF defers
+            // per pair - so the bound relaxes with n. Even so, no
+            // catastrophe appears: the compromise structure survives.
+            const double bound = (n <= 3) ? 0.8 : (n == 4) ? 0.72 : 0.65;
+            EXPECT_GT(best, bound)
+                << "n " << n << " rmax " << rmax << " d " << d;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MultiSenderN, ::testing::Values(2, 3, 4, 5));
+
+TEST(MultiSender, ConcurrencyDegradesWithN) {
+    // More concurrent senders means more interference per receiver.
+    model_params p;
+    p.sigma_db = 0.0;
+    double prev = 1e9;
+    for (int n : {2, 3, 4, 5}) {
+        const auto point = evaluate_multi_sender(p, n, 40.0, 55.0, 55.0,
+                                                 30000);
+        EXPECT_LT(point.concurrent, prev) << "n = " << n;
+        prev = point.concurrent;
+    }
+}
+
+TEST(MultiSender, TdmaShareShrinksWithN) {
+    model_params p;
+    p.sigma_db = 0.0;
+    const auto two = evaluate_multi_sender(p, 2, 40.0, 200.0, 55.0, 30000);
+    const auto four = evaluate_multi_sender(p, 4, 40.0, 200.0, 55.0, 30000);
+    EXPECT_NEAR(four.multiplexing, two.multiplexing * 0.5,
+                0.05 * two.multiplexing);
+}
+
+TEST(MultiSender, RejectsBadArguments) {
+    model_params p;
+    EXPECT_THROW(evaluate_multi_sender(p, 1, 40.0, 55.0, 55.0),
+                 std::invalid_argument);
+    EXPECT_THROW(evaluate_multi_sender(p, 3, -1.0, 55.0, 55.0),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// End-to-end reproduction checks against the numbers printed in the
+// thesis: the §3.2.5 efficiency tables, the footnote 12 slope bound, the
+// §3.4 worked example, and the sigma*sqrt(3) SNR-estimate uncertainty.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/efficiency.hpp"
+#include "src/core/shadowing_analysis.hpp"
+#include "src/core/threshold.hpp"
+
+namespace {
+
+using namespace csense::core;
+
+expectation_engine paper_engine() {
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = 8.0;
+    p.noise_db = -65.0;
+    quadrature_options q;
+    q.radial_nodes = 40;
+    q.angular_nodes = 48;
+    q.shadow_nodes = 14;
+    return expectation_engine(p, q, {120000, 42});
+}
+
+struct table_cell {
+    double rmax;
+    double d;
+    double paper_efficiency;
+};
+
+class PaperTable1 : public ::testing::TestWithParam<table_cell> {};
+
+TEST_P(PaperTable1, EfficiencyMatchesWithFixedThreshold) {
+    // §3.2.5 first table: fixed D_thresh = 55, alpha = 3, sigma = 8 dB.
+    const auto cell = GetParam();
+    const auto engine = paper_engine();
+    const auto point = evaluate_policies(engine, cell.rmax, cell.d, 55.0);
+    EXPECT_NEAR(point.efficiency(), cell.paper_efficiency, 0.025)
+        << "Rmax " << cell.rmax << " D " << cell.d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, PaperTable1,
+    ::testing::Values(table_cell{20, 20, 0.96}, table_cell{20, 55, 0.88},
+                      table_cell{20, 120, 0.96}, table_cell{40, 20, 0.96},
+                      table_cell{40, 55, 0.87}, table_cell{40, 120, 0.96},
+                      table_cell{120, 20, 0.89}, table_cell{120, 55, 0.83},
+                      table_cell{120, 120, 0.92}));
+
+TEST(PaperHeadline, CarrierSenseWithin15PercentOfOptimal) {
+    // §1: "average throughput is typically less than 15% below optimal".
+    const auto engine = paper_engine();
+    for (double rmax : {20.0, 40.0, 120.0}) {
+        for (double d : {20.0, 55.0, 120.0}) {
+            const auto point = evaluate_policies(engine, rmax, d, 55.0);
+            EXPECT_GT(point.efficiency(), 0.80)
+                << "Rmax " << rmax << " D " << d;
+        }
+    }
+}
+
+TEST(PaperTable2, TunedThresholdsChangeLittle) {
+    // §3.2.5: "Very little change is observed" with per-scenario tuning.
+    const auto engine = paper_engine();
+    for (double rmax : {20.0, 40.0, 120.0}) {
+        const auto tuned = optimal_threshold(engine, rmax);
+        ASSERT_TRUE(tuned.found);
+        for (double d : {20.0, 55.0, 120.0}) {
+            const auto fixed = evaluate_policies(engine, rmax, d, 55.0);
+            const auto opt = evaluate_policies(engine, rmax, d, tuned.d_thresh);
+            EXPECT_NEAR(fixed.efficiency(), opt.efficiency(), 0.06)
+                << "Rmax " << rmax << " D " << d;
+        }
+    }
+}
+
+TEST(PaperRobustness, AlphaAndSigmaSweepsChangeLittle) {
+    // §3.2.5: "alpha varying from 2 to 4 and sigma from 4 dB to 12 dB ...
+    // very little change is observed." Spot-check the transition cell,
+    // the table's weakest point.
+    for (double alpha : {2.0, 4.0}) {
+        for (double sigma : {4.0, 12.0}) {
+            model_params p;
+            p.alpha = alpha;
+            p.sigma_db = sigma;
+            quadrature_options q;
+            q.radial_nodes = 28;
+            q.angular_nodes = 40;
+            q.shadow_nodes = 10;
+            expectation_engine engine(p, q, {60000, 42});
+            // Express the 55-at-alpha-3 threshold as the same sensed power
+            // under this alpha.
+            const double d_thresh = threshold_distance_from_power_db(
+                threshold_power_db(55.0, 3.0), alpha);
+            const double rmax = std::pow(40.0, 3.0 / alpha);
+            const auto point = evaluate_policies(engine, rmax,
+                                                 d_thresh, d_thresh);
+            EXPECT_GT(point.efficiency(), 0.80)
+                << "alpha " << alpha << " sigma " << sigma;
+        }
+    }
+}
+
+TEST(Footnote12, ConcurrencySlopeBound) {
+    // "for alpha = 3, sigma = 0, the slope of the concurrency curve (in
+    // our Rmax = 20 normalized capacity units) is bounded above by
+    // 1.37 / Rmax for all D > Rmax."
+    model_params p;
+    p.sigma_db = 0.0;
+    quadrature_options q;
+    q.radial_nodes = 40;
+    q.angular_nodes = 56;
+    expectation_engine engine(p, q, {30000, 42});
+    const double unit = engine.normalization();
+    for (double rmax : {20.0, 55.0, 120.0}) {
+        double worst = 0.0;
+        for (double d = rmax * 1.05; d < rmax * 6.0; d *= 1.15) {
+            const double h = d * 0.01;
+            const double slope = (engine.expected_concurrent(rmax, d + h) -
+                                  engine.expected_concurrent(rmax, d - h)) /
+                                 (2.0 * h) / unit;
+            worst = std::max(worst, slope);
+        }
+        EXPECT_LE(worst, 1.37 / rmax * 1.02) << "Rmax = " << rmax;
+        EXPECT_GT(worst, 0.0);
+    }
+}
+
+TEST(Section34, WorkedExampleProbabilities) {
+    // Rmax = 20, D_thresh = 40, interferer apparently at D = 20:
+    // ~20% spurious concurrency, ~20% vulnerable receivers, ~4% severe.
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = 8.0;
+    const auto outcome = severe_outcome_probability(p, 20.0, 40.0, 20.0);
+    EXPECT_NEAR(outcome.p_spurious_concurrency, 0.20, 0.025);
+    EXPECT_NEAR(outcome.fraction_vulnerable, 0.20, 0.01);
+    EXPECT_NEAR(outcome.p_severe, 0.04, 0.01);
+}
+
+TEST(Section34, SnrEstimateUncertainty) {
+    // "sigma_SNRest = sigma * sqrt(3) ~ 14 dB ... assuming sigma = 8 dB".
+    model_params p;
+    p.sigma_db = 8.0;
+    EXPECT_NEAR(snr_estimate_sigma_db(p), 13.86, 0.01);
+}
+
+TEST(Section34, DbToDistanceFactor) {
+    // "Under alpha = 3, 14 dB's equivalent in path loss is a distance
+    // factor of about 3x."
+    model_params p;
+    p.alpha = 3.0;
+    EXPECT_NEAR(db_to_distance_factor(p, 14.0), 2.93, 0.05);
+}
+
+TEST(Section34, MistakeProbabilitiesDeterministicLimits) {
+    model_params det;
+    det.sigma_db = 0.0;
+    EXPECT_DOUBLE_EQ(spurious_concurrency_probability(det, 20.0, 40.0), 0.0);
+    EXPECT_DOUBLE_EQ(spurious_concurrency_probability(det, 50.0, 40.0), 1.0);
+    EXPECT_DOUBLE_EQ(spurious_multiplexing_probability(det, 50.0, 40.0), 0.0);
+    EXPECT_DOUBLE_EQ(spurious_multiplexing_probability(det, 20.0, 40.0), 1.0);
+}
+
+TEST(Section34, MistakeProbabilitiesComplementAtThreshold) {
+    model_params p;
+    p.sigma_db = 8.0;
+    EXPECT_NEAR(spurious_concurrency_probability(p, 40.0, 40.0), 0.5, 1e-12);
+    EXPECT_NEAR(spurious_multiplexing_probability(p, 40.0, 40.0), 0.5, 1e-12);
+}
+
+TEST(Efficiency, TableBuilderShapes) {
+    const auto engine = paper_engine();
+    const auto table = build_efficiency_table(engine, {20.0, 40.0},
+                                              {20.0, 55.0}, 55.0);
+    ASSERT_EQ(table.rows.size(), 2u);
+    ASSERT_EQ(table.rows[0].size(), 2u);
+    EXPECT_EQ(table.d_thresh.size(), 2u);
+    for (const auto& row : table.rows) {
+        for (const auto& cell : row) {
+            EXPECT_GT(cell.efficiency(), 0.5);
+            EXPECT_LE(cell.efficiency(), 1.05);
+        }
+    }
+    EXPECT_THROW(build_efficiency_table(engine, {20.0}, {20.0}, {55.0, 60.0}),
+                 std::invalid_argument);
+}
+
+TEST(Efficiency, InefficiencyDecompositionSidesOfThreshold) {
+    model_params p;
+    p.sigma_db = 0.0;
+    quadrature_options q;
+    q.radial_nodes = 24;
+    q.angular_nodes = 32;
+    expectation_engine engine(p, q, {20000, 42});
+    const auto parts =
+        decompose_inefficiency(engine, 55.0, 55.0, 10.0, 160.0, 30);
+    EXPECT_GE(parts.exposed_area, 0.0);
+    EXPECT_GE(parts.hidden_area, 0.0);
+    // With the optimal threshold the avoidable triangles nearly vanish
+    // compared with a badly mistuned threshold.
+    const auto bad =
+        decompose_inefficiency(engine, 55.0, 100.0, 10.0, 160.0, 30);
+    EXPECT_GT(bad.avoidable_exposed,
+              parts.avoidable_exposed + parts.avoidable_hidden + 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Point capacities and geometry of the two-pair model (§3.2.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/core/geometry.hpp"
+#include "src/core/model.hpp"
+#include "src/core/policies.hpp"
+
+namespace {
+
+using namespace csense::core;
+
+model_params default_params() {
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = 0.0;
+    p.noise_db = -65.0;
+    return p;
+}
+
+TEST(Geometry, InterfererDistanceOnAxis) {
+    // Receiver on the +x axis (theta = 0): distance r + D.
+    EXPECT_NEAR(interferer_distance(10.0, 0.0, 55.0), 65.0, 1e-12);
+    // Receiver on the -x axis (theta = pi): |D - r|.
+    EXPECT_NEAR(interferer_distance(10.0, std::numbers::pi, 55.0), 45.0, 1e-9);
+    EXPECT_NEAR(interferer_distance(60.0, std::numbers::pi, 55.0), 5.0, 1e-9);
+    // Perpendicular: hypotenuse.
+    EXPECT_NEAR(interferer_distance(30.0, std::numbers::pi / 2.0, 40.0), 50.0,
+                1e-9);
+}
+
+TEST(Geometry, DiscFractionLimits) {
+    EXPECT_NEAR(disc_fraction_closer_to_interferer(0.0, 20.0), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(disc_fraction_closer_to_interferer(40.0, 20.0), 0.0);
+    EXPECT_DOUBLE_EQ(disc_fraction_closer_to_interferer(60.0, 20.0), 0.0);
+}
+
+TEST(Geometry, DiscFractionThesisExample) {
+    // §3.4: interferer at D = Rmax = 20 -> ~20% of the disc is closer to
+    // the interferer than to the sender.
+    EXPECT_NEAR(disc_fraction_closer_to_interferer(20.0, 20.0), 0.1955, 0.002);
+}
+
+TEST(Geometry, DiscFractionMonotoneInD) {
+    double prev = 1.0;
+    for (double d = 0.0; d <= 45.0; d += 5.0) {
+        const double f = disc_fraction_closer_to_interferer(d, 20.0);
+        EXPECT_LE(f, prev + 1e-12);
+        prev = f;
+    }
+}
+
+TEST(ModelParams, Validation) {
+    model_params p = default_params();
+    EXPECT_NO_THROW(p.validate());
+    p.alpha = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = default_params();
+    p.sigma_db = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = default_params();
+    p.noise_db = 1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ModelParams, NoiseLinear) {
+    model_params p = default_params();
+    EXPECT_NEAR(p.noise_linear(), std::pow(10.0, -6.5), 1e-18);
+}
+
+TEST(Policies, SingleCapacityAtKnownSnr) {
+    const model_params p = default_params();
+    // At r = 20, SNR = 65 - 30*log10(20) = 25.97 dB (§3.2.2's "roughly
+    // 26 dB ... reasonable for 802.11a/g 54 Mb/s").
+    const double snr_db = 10.0 * std::log10(snr_single(p, 20.0));
+    EXPECT_NEAR(snr_db, 26.0, 0.1);
+    EXPECT_NEAR(capacity_single(p, 20.0),
+                std::log2(1.0 + std::pow(10.0, snr_db / 10.0)), 1e-9);
+}
+
+TEST(Policies, EdgeOfUsefulRange) {
+    const model_params p = default_params();
+    // r = 120: "an SNR just shy of 3 dB ... about the minimum practical".
+    const double snr_db = 10.0 * std::log10(snr_single(p, 120.0));
+    EXPECT_GT(snr_db, 2.0);
+    EXPECT_LT(snr_db, 3.0);
+}
+
+TEST(Policies, SingleDecreasingInR) {
+    const model_params p = default_params();
+    double prev = 1e18;
+    for (double r = 1.0; r <= 120.0; r *= 1.5) {
+        const double c = capacity_single(p, r);
+        EXPECT_LT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Policies, MultiplexingIsHalf) {
+    const model_params p = default_params();
+    for (double r : {5.0, 20.0, 80.0}) {
+        EXPECT_DOUBLE_EQ(capacity_multiplexing(p, r),
+                         0.5 * capacity_single(p, r));
+    }
+}
+
+TEST(Policies, ConcurrentBelowSingleAboveZero) {
+    const model_params p = default_params();
+    for (double d : {10.0, 55.0, 200.0}) {
+        for (double r : {5.0, 20.0, 60.0}) {
+            const double conc = capacity_concurrent(p, r, 1.0, d);
+            EXPECT_GT(conc, 0.0);
+            EXPECT_LT(conc, capacity_single(p, r));
+        }
+    }
+}
+
+TEST(Policies, ConcurrentApproachesSingleAtLargeD) {
+    const model_params p = default_params();
+    const double single = capacity_single(p, 20.0);
+    const double far = capacity_concurrent(p, 20.0, 1.0, 1e5);
+    EXPECT_NEAR(far, single, single * 1e-3);
+}
+
+TEST(Policies, ConcurrentImprovesWithDOnAxis) {
+    // Pointwise monotonicity in D holds for receivers on the +x axis
+    // (interferer distance r + D is then strictly increasing in D).
+    const model_params p = default_params();
+    double prev = 0.0;
+    for (double d = 5.0; d <= 500.0; d *= 2.0) {
+        const double c = capacity_concurrent(p, 20.0, 0.0, d);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Policies, ConcurrentNotPointwiseMonotoneOffAxis) {
+    // Off-axis, a growing D can first move the interferer *closer* to the
+    // receiver (it slides along the -x axis): capacity dips before it
+    // recovers. Only the disc-averaged curve is monotone.
+    const model_params p = default_params();
+    const double near = capacity_concurrent(p, 20.0, 2.0, 5.0);
+    const double mid = capacity_concurrent(p, 20.0, 2.0, 8.3);
+    EXPECT_LT(mid, near);
+}
+
+TEST(Policies, CollocatedInterfererGivesSub0dbSinr) {
+    // §3.2.4: senders coincident -> "no receiver has an SNR better than
+    // 0 dB" (equal signal and interference powers at best, plus noise).
+    const model_params p = default_params();
+    for (double r : {5.0, 20.0, 60.0}) {
+        for (double theta : {0.0, 1.0, 3.0}) {
+            EXPECT_LT(sinr_concurrent(p, r, theta, 0.0), 1.0);
+        }
+    }
+}
+
+TEST(Policies, UpperBoundDominatesBoth) {
+    const model_params p = default_params();
+    for (double d : {10.0, 55.0, 120.0}) {
+        for (double r : {5.0, 25.0, 70.0}) {
+            const double ub = capacity_upper_bound(p, r, 2.0, d);
+            EXPECT_GE(ub, capacity_concurrent(p, r, 2.0, d) - 1e-12);
+            EXPECT_GE(ub, capacity_multiplexing(p, r) - 1e-12);
+        }
+    }
+}
+
+TEST(Policies, ShadowingFactorsScaleSnr) {
+    const model_params p = default_params();
+    EXPECT_GT(capacity_single(p, 20.0, 4.0), capacity_single(p, 20.0, 1.0));
+    EXPECT_LT(capacity_concurrent(p, 20.0, 1.0, 55.0, 1.0, 4.0),
+              capacity_concurrent(p, 20.0, 1.0, 55.0, 1.0, 1.0));
+}
+
+TEST(Policies, FixedRateStep) {
+    const double rate = 2.0;  // bits/s/Hz -> needs SNR 3 (linear)
+    EXPECT_DOUBLE_EQ(capacity_fixed_rate(3.0, rate), rate);
+    EXPECT_DOUBLE_EQ(capacity_fixed_rate(2.99, rate), 0.0);
+    EXPECT_DOUBLE_EQ(capacity_fixed_rate(100.0, rate), rate);
+    EXPECT_THROW(capacity_fixed_rate(1.0, -1.0), std::domain_error);
+}
+
+TEST(Policies, RejectsNonPositiveRadius) {
+    const model_params p = default_params();
+    EXPECT_THROW(capacity_single(p, 0.0), std::domain_error);
+    EXPECT_THROW(sinr_concurrent(p, -1.0, 0.0, 10.0), std::domain_error);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Threshold selection (§3.3.3) and regime classification: crossing-point
+// optima, the thesis' quoted threshold values, the short-range asymptote
+// of footnote 13, and the short/transition/long boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/regimes.hpp"
+#include "src/core/threshold.hpp"
+
+namespace {
+
+using namespace csense::core;
+
+expectation_engine make_engine(double sigma, double alpha = 3.0,
+                               double noise_db = -65.0) {
+    model_params p;
+    p.alpha = alpha;
+    p.sigma_db = sigma;
+    p.noise_db = noise_db;
+    quadrature_options q;
+    q.radial_nodes = 32;
+    q.angular_nodes = 48;
+    q.shadow_nodes = 12;
+    return expectation_engine(p, q, {30000, 42});
+}
+
+TEST(Threshold, ThesisValuesWithoutShadowing) {
+    // §3.3.3: "Rmax = 20 corresponds to an optimal threshold about
+    // Dthresh ~ 40, and Rmax = 120 corresponds to Dthresh ~ 75."
+    const auto engine = make_engine(0.0);
+    EXPECT_NEAR(optimal_threshold(engine, 20.0).d_thresh, 40.0, 3.5);
+    EXPECT_NEAR(optimal_threshold(engine, 120.0).d_thresh, 75.0, 4.0);
+}
+
+TEST(Threshold, ThesisValuesWithShadowing) {
+    // Table 2's tuned thresholds at sigma = 8 dB: 40 / 55 / 60.
+    const auto engine = make_engine(8.0);
+    EXPECT_NEAR(optimal_threshold(engine, 20.0).d_thresh, 40.0, 3.5);
+    EXPECT_NEAR(optimal_threshold(engine, 40.0).d_thresh, 55.0, 4.0);
+    EXPECT_NEAR(optimal_threshold(engine, 120.0).d_thresh, 60.0, 4.0);
+}
+
+TEST(Threshold, ShadowingShiftsLongRangeThresholdLeft) {
+    // §3.4: shadowing produces "a leftward shift in their optimal
+    // thresholds" at long range.
+    const auto det = make_engine(0.0);
+    const auto shadowed = make_engine(8.0);
+    EXPECT_LT(optimal_threshold(shadowed, 120.0).d_thresh,
+              optimal_threshold(det, 120.0).d_thresh - 5.0);
+}
+
+TEST(Threshold, CrossingValueEqualsMultiplexing) {
+    const auto engine = make_engine(0.0);
+    const auto result = optimal_threshold(engine, 40.0);
+    ASSERT_TRUE(result.found);
+    EXPECT_NEAR(engine.expected_concurrent(40.0, result.d_thresh),
+                engine.expected_multiplexing(40.0), 1e-6);
+    EXPECT_NEAR(result.crossing_value, engine.expected_multiplexing(40.0),
+                1e-9);
+}
+
+TEST(Threshold, MonotoneInRmax) {
+    const auto engine = make_engine(0.0);
+    double prev = 0.0;
+    for (double rmax : {10.0, 20.0, 40.0, 80.0}) {
+        const auto result = optimal_threshold(engine, rmax);
+        ASSERT_TRUE(result.found);
+        EXPECT_GT(result.d_thresh, prev);
+        prev = result.d_thresh;
+    }
+}
+
+TEST(Threshold, ShortRangeAsymptote) {
+    // Footnote 13: D_thresh ~ e^{-1/4} Rmax^{1/2} N^{-1/(2 alpha)} in the
+    // very short range limit.
+    const auto engine = make_engine(0.0);
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = 0.0;
+    p.noise_db = -65.0;
+    for (double rmax : {0.5, 1.0, 2.0}) {
+        const double exact = optimal_threshold(engine, rmax).d_thresh;
+        const double asymptote = short_range_threshold_asymptote(p, rmax);
+        EXPECT_NEAR(exact / asymptote, 1.0, 0.15) << "rmax = " << rmax;
+    }
+}
+
+TEST(Threshold, Alpha3EquivalentDistance) {
+    EXPECT_DOUBLE_EQ(equivalent_distance_alpha3(55.0, 3.0), 55.0);
+    // Same sensed power under alpha = 2: D_eq = D^(2/3).
+    EXPECT_NEAR(equivalent_distance_alpha3(64.0, 2.0), std::pow(64.0, 2.0 / 3.0),
+                1e-9);
+    EXPECT_THROW(equivalent_distance_alpha3(0.0, 3.0), std::domain_error);
+}
+
+TEST(Threshold, PowerDistanceRoundTrip) {
+    for (double alpha : {2.0, 3.0, 4.0}) {
+        for (double d : {10.0, 55.0, 120.0}) {
+            const double p_db = threshold_power_db(d, alpha);
+            EXPECT_NEAR(threshold_distance_from_power_db(p_db, alpha), d, 1e-9);
+        }
+    }
+    // Thesis: Dthresh ~ 55 is "equivalent to Pthresh ~ 13 dB" above the
+    // -65 dB noise floor: -10*3*log10(55) = -52.2 dB, 12.8 dB over N.
+    EXPECT_NEAR(threshold_power_db(55.0, 3.0) - (-65.0), 12.8, 0.2);
+}
+
+TEST(Threshold, CompromiseMatchesThesisRecommendation) {
+    // §3.3.3: splitting the difference between Rmax = 20 and Rmax = 120
+    // optima gives Dthresh ~ 55.
+    const auto engine = make_engine(0.0);
+    EXPECT_NEAR(compromise_threshold(engine, 20.0, 120.0), 55.0, 4.0);
+}
+
+TEST(Threshold, ExtremeLongRangeHasNoCrossing) {
+    // With a huge noise floor (N = -20 dB), links are so weak that
+    // concurrency wins even for collocated senders: the CDMA-like regime
+    // of footnote 11.
+    const auto engine = make_engine(0.0, 3.0, -20.0);
+    const auto result = optimal_threshold(engine, 50.0);
+    EXPECT_FALSE(result.found);
+    EXPECT_DOUBLE_EQ(result.d_thresh, 0.0);
+}
+
+TEST(Regimes, EdgeSnr) {
+    model_params p;
+    EXPECT_NEAR(edge_snr_db(p, 20.0), 26.0, 0.1);
+    EXPECT_NEAR(edge_snr_db(p, 120.0), 2.6, 0.1);
+    EXPECT_NEAR(rmax_for_edge_snr(p, edge_snr_db(p, 55.0)), 55.0, 1e-6);
+}
+
+TEST(Regimes, ClassificationBoundaries) {
+    // At alpha = 3, sigma = 8: Rmax = 20 is short range (threshold ~ 40 >
+    // 2 * 20 boundary is exactly marginal; use 15 for clearly short),
+    // Rmax = 120 is long range (threshold ~ 60 < 120).
+    const auto engine = make_engine(8.0);
+    EXPECT_EQ(classify_network(engine, 15.0).regime,
+              network_regime::short_range);
+    EXPECT_EQ(classify_network(engine, 120.0).regime,
+              network_regime::long_range);
+    EXPECT_EQ(classify_network(engine, 40.0).regime,
+              network_regime::transition);
+}
+
+TEST(Regimes, TransitionWindowMatchesThesis) {
+    // §3.3.4: "For typical alpha ~ 3, this range is roughly
+    // 18 < Rmax < 60, equivalent to 12 dB < SNR < 27 dB at the edge".
+    const auto engine = make_engine(8.0);
+    const auto low = classify_network(engine, 17.0);
+    const auto high = classify_network(engine, 65.0);
+    EXPECT_EQ(low.regime, network_regime::short_range);
+    EXPECT_EQ(high.regime, network_regime::long_range);
+}
+
+TEST(Regimes, ExtremeLongRangeClassified) {
+    const auto engine = make_engine(0.0, 3.0, -20.0);
+    EXPECT_EQ(classify_network(engine, 50.0).regime,
+              network_regime::extreme_long_range);
+}
+
+TEST(Regimes, Names) {
+    EXPECT_EQ(regime_name(network_regime::short_range), "short range");
+    EXPECT_EQ(regime_name(network_regime::extreme_long_range),
+              "extreme long range");
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Distribution correctness: normal CDF/quantile, lognormal shadowing
+// moments, Rayleigh/Rician fading power normalization, and uniform-disc
+// placement statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/stats/distributions.hpp"
+
+namespace {
+
+using namespace csense::stats;
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-15);
+}
+
+TEST(NormalPdf, KnownValues) {
+    EXPECT_NEAR(normal_pdf(0.0), 1.0 / std::sqrt(2.0 * std::numbers::pi), 1e-12);
+    EXPECT_NEAR(normal_pdf(2.0), 0.05399096651318806, 1e-12);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+    for (double p : {1e-6, 1e-3, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999, 1.0 - 1e-6}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p = " << p;
+    }
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+    EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(-0.5), std::domain_error);
+}
+
+class ShadowingSigma : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShadowingSigma, SampleMomentsMatchTheory) {
+    const double sigma = GetParam();
+    lognormal_shadowing shadow(sigma);
+    rng gen(101);
+    double sum_db = 0.0, sum_db2 = 0.0, sum_lin = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double l = shadow.sample(gen);
+        const double db = 10.0 * std::log10(l);
+        sum_db += db;
+        sum_db2 += db * db;
+        sum_lin += l;
+    }
+    const double mean_db = sum_db / n;
+    const double sd_db = std::sqrt(sum_db2 / n - mean_db * mean_db);
+    EXPECT_NEAR(mean_db, 0.0, 0.1 + sigma * 0.02);
+    EXPECT_NEAR(sd_db, sigma, sigma * 0.02 + 0.01);
+    // The lognormal mean exceeds the median (= 1): E[L] = exp(s^2/2).
+    // The sample mean of a heavy-tailed lognormal converges slowly:
+    // tolerance = 4 standard errors of the mean.
+    const double s_ln = sigma * std::log(10.0) / 10.0;
+    const double rel_stderr =
+        std::sqrt((std::exp(s_ln * s_ln) - 1.0) / n);
+    EXPECT_NEAR(sum_lin / n, shadow.mean(),
+                shadow.mean() * (4.0 * rel_stderr + 0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ShadowingSigma,
+                         ::testing::Values(2.0, 4.0, 8.0, 12.0));
+
+TEST(Shadowing, ZeroSigmaIsDeterministicUnity) {
+    lognormal_shadowing shadow(0.0);
+    rng gen(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(shadow.sample(gen), 1.0);
+    }
+    EXPECT_DOUBLE_EQ(shadow.mean(), 1.0);
+}
+
+TEST(Shadowing, FromStandardNormalIsExactPowerOf10) {
+    lognormal_shadowing shadow(8.0);
+    EXPECT_DOUBLE_EQ(shadow.from_standard_normal(0.0), 1.0);
+    EXPECT_NEAR(shadow.from_standard_normal(1.0), std::pow(10.0, 0.8), 1e-12);
+    EXPECT_NEAR(shadow.from_standard_normal(-1.0), std::pow(10.0, -0.8), 1e-12);
+}
+
+TEST(RayleighFading, UnitMeanPower) {
+    rng gen(7);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rayleigh_fading::sample_power(gen);
+    EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(RayleighFading, AmplitudeSquaredIsPower) {
+    rng gen(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double a = rayleigh_fading::sample_amplitude(gen);
+        sum += a * a;
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.03);
+}
+
+class RicianK : public ::testing::TestWithParam<double> {};
+
+TEST_P(RicianK, UnitMeanPowerForAllK) {
+    const double k = GetParam();
+    rician_fading rician(k);
+    rng gen(23);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double p = rician.sample_power(gen);
+        sum += p;
+        sum2 += p * p;
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.02) << "K = " << k;
+    // Power variance shrinks as K grows: Var = (1 + 2K) / (1 + K)^2.
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    const double expected_var = (1.0 + 2.0 * k) / ((1.0 + k) * (1.0 + k));
+    EXPECT_NEAR(var, expected_var, expected_var * 0.1 + 0.01) << "K = " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KFactors, RicianK,
+                         ::testing::Values(0.0, 1.0, 5.0, 20.0));
+
+TEST(UniformDisc, RadiusDistribution) {
+    rng gen(5);
+    const double radius = 10.0;
+    double sum_r2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const auto p = sample_uniform_disc(gen, radius);
+        ASSERT_LE(p.r, radius);
+        ASSERT_GE(p.r, 0.0);
+        sum_r2 += p.r * p.r;
+    }
+    // E[r^2] = R^2 / 2 for uniform area sampling.
+    EXPECT_NEAR(sum_r2 / n, radius * radius / 2.0, radius * radius * 0.01);
+}
+
+TEST(UniformDisc, AngleIsUniform) {
+    rng gen(6);
+    double sum_cos = 0.0, sum_sin = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto p = sample_uniform_disc(gen, 1.0);
+        sum_cos += std::cos(p.theta);
+        sum_sin += std::sin(p.theta);
+    }
+    EXPECT_NEAR(sum_cos / n, 0.0, 0.01);
+    EXPECT_NEAR(sum_sin / n, 0.0, 0.01);
+}
+
+TEST(UniformDisc, FromUniformsIsDeterministic) {
+    const auto p = disc_from_uniforms(0.25, 0.5, 10.0);
+    EXPECT_DOUBLE_EQ(p.r, 5.0);  // sqrt(0.25) * 10
+    EXPECT_NEAR(p.theta, std::numbers::pi, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Cross-validation of the thesis' two methodologies against each other:
+// the analytic Shannon-capacity model (§3) and the packet-level 802.11
+// simulator (§4) should agree on the *structure* of two-pair competition
+// even though one speaks bits/s/Hz and the other delivered packets.
+//
+// For controlled geometries (no shadowing, receivers at fixed distances)
+// we check that:
+//  - the concurrency/multiplexing preference flips at the same sender
+//    separation in both worlds;
+//  - the throughput ratios conc/mux track the capacity ratios within a
+//    discretization allowance (the simulator has only 8 rates);
+//  - carrier sense in the simulator lands on the branch the analytic
+//    model says it should, on both sides of the threshold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/capacity/error_models.hpp"
+#include "src/capacity/rate_adaptation.hpp"
+#include "src/capacity/rate_table.hpp"
+#include "src/capacity/shannon.hpp"
+#include "src/core/policies.hpp"
+#include "src/mac/network.hpp"
+
+namespace {
+
+using namespace csense;
+using capacity::rate_by_mbps;
+
+constexpr int payload = 1400;
+constexpr double run_us = 4e6;
+
+// Map the analytic model's normalized units onto the simulator's dBm
+// world: the model's r is chosen so that its SNR matches the simulated
+// link's SNR. Simulator: tx 15 dBm, floor -95 dBm; model: N = -65 dB.
+// A link gain g dB gives SNR = 110 + g; the model distance with the same
+// SNR satisfies -10 alpha log10(r) + 65 = 110 + g.
+double model_distance_for_gain(double alpha, double gain_db) {
+    return std::pow(10.0, -(110.0 + gain_db - 65.0) / (10.0 * alpha));
+}
+
+// Oracle throughput of one simulated pair alone at the best fixed rate.
+double sim_alone_pps(double gain_db, std::uint64_t seed) {
+    mac::radio_config radio;
+    double best = 0.0;
+    for (const auto& rate : capacity::ofdm_rates()) {
+        best = std::max(best, mac::run_single_pair(radio, gain_db, rate,
+                                                   run_us, payload, seed));
+    }
+    return best;
+}
+
+// Oracle total throughput of two simulated pairs under a CS mode.
+double sim_joint_pps(const mac::two_pair_gains& gains, mac::cs_mode mode,
+                     std::uint64_t seed) {
+    mac::radio_config radio;
+    double best1 = 0.0, best2 = 0.0;
+    for (const auto& rate : capacity::ofdm_rates()) {
+        const auto result = mac::run_two_pair_competition(
+            radio, gains, rate, rate, mode, run_us, payload, seed);
+        best1 = std::max(best1, result.pps_pair1);
+        best2 = std::max(best2, result.pps_pair2);
+    }
+    return best1 + best2;
+}
+
+// Symmetric two-pair geometry: both links have gain `link_gain_db`; the
+// cross gains correspond to a sender separation with gain `cross_db`.
+mac::two_pair_gains symmetric_gains(double link_gain_db, double cross_db) {
+    mac::two_pair_gains g;
+    g.s1_r1 = g.s2_r2 = link_gain_db;
+    g.s1_s2 = g.s1_r2 = g.s2_r1 = g.r1_r2 = cross_db;
+    return g;
+}
+
+TEST(ModelVsSim, ConcurrencyMultiplexingCrossoverAgrees) {
+    // Sweep the pair separation; both worlds must flip preference from
+    // multiplexing (close) to concurrency (far), and roughly together.
+    core::model_params params;
+    params.sigma_db = 0.0;
+    const double link_gain = -75.0;  // 35 dB SNR links
+    const double r = model_distance_for_gain(params.alpha, link_gain);
+
+    int analytic_flip = -1, sim_flip = -1;
+    const double cross_gains[] = {-70.0, -78.0, -86.0, -94.0, -102.0, -110.0};
+    for (int i = 0; i < 6; ++i) {
+        const double d = model_distance_for_gain(params.alpha, cross_gains[i]);
+        // Analytic per-pair capacities with the receiver at angle pi/2
+        // (the symmetric geometry's representative position).
+        const double mux = core::capacity_multiplexing(params, r);
+        const double conc = core::capacity_concurrent(
+            params, r, 1.5707963267948966, d);
+        if (analytic_flip < 0 && conc > mux) analytic_flip = i;
+
+        const auto gains = symmetric_gains(link_gain, cross_gains[i]);
+        const double sim_mux =
+            0.5 * (sim_alone_pps(link_gain, 100 + i) +
+                   sim_alone_pps(link_gain, 200 + i));
+        const double sim_conc =
+            sim_joint_pps(gains, mac::cs_mode::disabled, 300 + i);
+        if (sim_flip < 0 && sim_conc > sim_mux) sim_flip = i;
+    }
+    ASSERT_GE(analytic_flip, 1);  // close pairs prefer multiplexing...
+    ASSERT_GE(sim_flip, 1);
+    // ...and the two crossovers land within one sweep step of each other.
+    EXPECT_LE(std::abs(analytic_flip - sim_flip), 1);
+}
+
+TEST(ModelVsSim, FarSeparationRatioApproachesTwo) {
+    // Both worlds: far pairs double throughput over multiplexing.
+    const double link_gain = -75.0;
+    const auto gains = symmetric_gains(link_gain, -130.0);
+    const double sim_mux = 0.5 * (sim_alone_pps(link_gain, 11) +
+                                  sim_alone_pps(link_gain, 12));
+    const double sim_conc = sim_joint_pps(gains, mac::cs_mode::disabled, 13);
+    EXPECT_NEAR(sim_conc / sim_mux, 2.0, 0.15);
+
+    core::model_params params;
+    params.sigma_db = 0.0;
+    const double r = model_distance_for_gain(params.alpha, link_gain);
+    const double d = model_distance_for_gain(params.alpha, -130.0);
+    const double analytic_ratio =
+        core::capacity_concurrent(params, r, 1.57, d) /
+        core::capacity_multiplexing(params, r);
+    EXPECT_NEAR(analytic_ratio, 2.0, 0.05);
+}
+
+TEST(ModelVsSim, CarrierSenseLandsOnThePredictedBranch) {
+    // The simulator's CS threshold (-82 dBm) corresponds to a sensed
+    // gain of -97 dB. Give the pairs separations clearly on each side
+    // and check the simulated CS throughput tracks the branch the model
+    // predicts: multiplexing when audible, concurrency when not.
+    const double link_gain = -75.0;
+    for (double cross : {-85.0, -109.0}) {
+        const bool should_defer = (15.0 + cross) >= -82.0;
+        const auto gains = symmetric_gains(link_gain, cross);
+        const double cs = sim_joint_pps(
+            gains, mac::cs_mode::energy_and_preamble, 21);
+        const double conc = sim_joint_pps(gains, mac::cs_mode::disabled, 22);
+        const double mux = 0.5 * (sim_alone_pps(link_gain, 23) +
+                                  sim_alone_pps(link_gain, 24));
+        if (should_defer) {
+            // CS behaves like (slightly better than) multiplexing.
+            EXPECT_NEAR(cs, mux, 0.15 * mux) << "cross " << cross;
+        } else {
+            EXPECT_NEAR(cs, conc, 0.12 * conc) << "cross " << cross;
+        }
+    }
+}
+
+TEST(ModelVsSim, ShannonTracksOracleRateChoice) {
+    // The analytic model uses Shannon capacity as "a rough proportional
+    // estimate" of adaptive-bitrate throughput (§2). Check the
+    // proportionality on clean links: oracle goodput (pkt/s x bits) vs
+    // Shannon capacity across SNRs, constant within a factor band.
+    const capacity::logistic_per_model errors;
+    double min_ratio = 1e30, max_ratio = 0.0;
+    for (double snr_db = 8.0; snr_db <= 30.0; snr_db += 4.0) {
+        const auto& best = capacity::best_fixed_rate_oracle(
+            capacity::ofdm_rates(), errors, snr_db, payload);
+        const double goodput_bits =
+            capacity::saturated_broadcast_pps(best, payload) *
+            errors.delivery_rate(best, snr_db, payload) * payload * 8.0;
+        const double shannon =
+            capacity::shannon_bits_per_hz_db(snr_db) * 20e6;  // 20 MHz
+        const double ratio = goodput_bits / shannon;
+        min_ratio = std::min(min_ratio, ratio);
+        max_ratio = std::max(max_ratio, ratio);
+    }
+    // 802.11a's discrete rates and overheads sit well below Shannon but
+    // track it: the ratio stays within a ~2.5x band over 22 dB of SNR.
+    EXPECT_GT(min_ratio, 0.05);
+    EXPECT_LT(max_ratio / min_ratio, 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Receiver preference maps (Figure 3): classification logic and the
+// thesis' qualitative claims about who prefers what at D = 20/55/120.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/preference_map.hpp"
+
+namespace {
+
+using namespace csense::core;
+
+model_params fig3_params() {
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = 0.0;  // built-in convention, but be explicit
+    p.noise_db = -65.0;
+    return p;
+}
+
+TEST(PreferenceMap, GeometryAndBounds) {
+    const auto map = build_preference_map(fig3_params(), 55.0, 55.0, 60.0, 41);
+    EXPECT_EQ(map.resolution, 41);
+    EXPECT_EQ(map.cells.size(), 41u * 41u);
+    EXPECT_NO_THROW(map.at(0, 0));
+    EXPECT_NO_THROW(map.at(40, 40));
+    EXPECT_THROW(map.at(41, 0), std::out_of_range);
+    // Corner cells lie outside the Rmax disc.
+    EXPECT_FALSE(map.at(0, 0).inside);
+    // Near-center cells lie inside.
+    EXPECT_TRUE(map.at(20, 21).inside);
+}
+
+TEST(PreferenceMap, NearInterfererEveryonePrefersMultiplexing) {
+    // Fig. 3 at D = 20: "a single choice, multiplexing, is optimal for
+    // all Rmax up to about 100" - concurrency holds only in a tiny
+    // sliver around the sender.
+    const auto map = build_preference_map(fig3_params(), 20.0, 100.0, 100.0, 81);
+    const auto summary = summarize(map);
+    EXPECT_GT(summary.fraction_multiplexing, 0.95);
+    EXPECT_LT(summary.fraction_concurrency, 0.05);
+}
+
+TEST(PreferenceMap, FarInterfererEveryonePrefersConcurrency) {
+    // Fig. 3 at D = 120: "pure concurrency is optimal for all Rmax up to
+    // about 50".
+    const auto map = build_preference_map(fig3_params(), 120.0, 50.0, 50.0, 81);
+    const auto summary = summarize(map);
+    EXPECT_GT(summary.fraction_concurrency, 0.95);
+}
+
+TEST(PreferenceMap, TransitionSplitsReceivers) {
+    // Fig. 3 at D = 55: "receivers are split nearly down the middle".
+    const auto map = build_preference_map(fig3_params(), 55.0, 100.0, 100.0, 81);
+    const auto summary = summarize(map);
+    EXPECT_GT(summary.fraction_concurrency, 0.25);
+    EXPECT_LT(summary.fraction_concurrency, 0.75);
+}
+
+TEST(PreferenceMap, StarvedRegionHugsInterferer) {
+    // Receivers near the interferer get < 10% of C_UBmax under
+    // concurrency: the white region of Fig. 3 sits on the -x axis around
+    // the interferer position.
+    const auto map = build_preference_map(fig3_params(), 55.0, 100.0, 100.0, 101);
+    const auto summary = summarize(map);
+    EXPECT_GT(summary.fraction_starved, 0.005);
+    // Find a starved cell and confirm it is near the interferer at
+    // (-55, 0); confirm cells near the sender are not starved.
+    bool found_near_interferer = false;
+    for (const auto& cell : map.cells) {
+        if (!cell.inside) continue;
+        if (cell.preference == receiver_preference::starved_multiplexing) {
+            const double dist_interferer =
+                std::hypot(cell.x + 55.0, cell.y);
+            if (dist_interferer < 30.0) found_near_interferer = true;
+            const double dist_sender = std::hypot(cell.x, cell.y);
+            EXPECT_GT(dist_sender, 20.0);
+        }
+    }
+    EXPECT_TRUE(found_near_interferer);
+}
+
+TEST(PreferenceMap, CapacitiesStoredConsistently) {
+    const auto map = build_preference_map(fig3_params(), 55.0, 60.0, 60.0, 41);
+    for (const auto& cell : map.cells) {
+        if (!cell.inside) continue;
+        if (cell.preference == receiver_preference::concurrency) {
+            EXPECT_GE(cell.capacity_concurrent, cell.capacity_multiplexing);
+        } else {
+            EXPECT_LT(cell.capacity_concurrent, cell.capacity_multiplexing);
+        }
+    }
+}
+
+TEST(PreferenceMap, SummaryFractionsSumToOne) {
+    const auto map = build_preference_map(fig3_params(), 55.0, 80.0, 80.0, 61);
+    const auto summary = summarize(map);
+    EXPECT_NEAR(summary.fraction_concurrency + summary.fraction_multiplexing,
+                1.0, 1e-12);
+    EXPECT_LE(summary.fraction_starved, summary.fraction_multiplexing);
+    EXPECT_GT(summary.cells_inside, 0);
+}
+
+TEST(PreferenceMap, RejectsBadGeometry) {
+    EXPECT_THROW(build_preference_map(fig3_params(), 55.0, 50.0, 50.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(build_preference_map(fig3_params(), 55.0, 0.0, 50.0, 11),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Reporting utilities: tables, CSV escaping, and ASCII charts.
+#include <gtest/gtest.h>
+
+#include "src/report/ascii_plot.hpp"
+#include "src/report/csv.hpp"
+#include "src/report/table.hpp"
+
+namespace {
+
+using namespace csense::report;
+
+TEST(Table, RendersAlignedColumns) {
+    text_table table({"Rmax", "D", "eff"});
+    table.add_row({"20", "55", "88%"});
+    table.add_row({"120", "120", "92%"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Rmax"), std::string::npos);
+    EXPECT_NE(out.find("88%"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsBadRows) {
+    text_table table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(text_table({}), std::invalid_argument);
+}
+
+TEST(Table, Formatting) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt_percent(0.876, 0), "88%");
+    EXPECT_EQ(fmt_percent(0.876, 1), "87.6%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, LineAndDocument) {
+    EXPECT_EQ(csv_line({"a", "b,c", "d"}), "a,\"b,c\",d");
+    const auto doc = csv_document({{"h1", "h2"}, {"1", "2"}});
+    EXPECT_EQ(doc, "h1,h2\n1,2\n");
+}
+
+TEST(Chart, RendersSeriesMarkersAndLegend) {
+    series s1{"mux", {0, 1, 2, 3}, {1, 1, 1, 1}, 'm'};
+    series s2{"conc", {0, 1, 2, 3}, {0, 1, 2, 3}, 'c'};
+    plot_options opts;
+    opts.width = 40;
+    opts.height = 10;
+    const std::string out = render_chart({s1, s2}, opts);
+    EXPECT_NE(out.find('m'), std::string::npos);
+    EXPECT_NE(out.find('c'), std::string::npos);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("mux"), std::string::npos);
+}
+
+TEST(Chart, RejectsBadInput) {
+    EXPECT_THROW(render_chart({}, plot_options{}), std::invalid_argument);
+    series bad{"x", {1, 2}, {1}, '*'};
+    EXPECT_THROW(render_chart({bad}, plot_options{}), std::invalid_argument);
+}
+
+TEST(Chart, HandlesSinglePoint) {
+    series s{"dot", {5.0}, {7.0}, 'o'};
+    plot_options opts;
+    opts.y_from_zero = false;
+    const std::string out = render_chart({s}, opts);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Heatmap, DimensionsAndRamp) {
+    std::vector<double> values = {0.0, 0.5, 1.0, 0.25, 0.75, 0.9};
+    const std::string out = render_heatmap(values, 2, 3, "capacity");
+    // Two rows of 3 plus newlines plus legend line.
+    const auto first_newline = out.find('\n');
+    EXPECT_EQ(first_newline, 3u);
+    EXPECT_NE(out.find("capacity"), std::string::npos);
+    EXPECT_THROW(render_heatmap(values, 2, 2, ""), std::invalid_argument);
+}
+
+TEST(CategoryMap, PaletteLookup) {
+    std::vector<int> cells = {0, 1, 2, -1};
+    const std::string out = render_category_map(cells, 2, 2, ".x#");
+    EXPECT_EQ(out, ".x\n# \n");
+    EXPECT_THROW(render_category_map(cells, 3, 2, ".x#"),
+                 std::invalid_argument);
+}
+
+}  // namespace

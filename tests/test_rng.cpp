@@ -1,0 +1,184 @@
+// Tests for the deterministic RNG: reproducibility, stream independence,
+// range correctness, and distribution moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using csense::stats::rng;
+
+TEST(Rng, SameSeedSameSequence) {
+    rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    rng gen(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double u = gen.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+    rng gen(11);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double u = gen.uniform();
+        sum += u;
+        sum2 += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    rng gen(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = gen.uniform(-5.0, 3.0);
+        ASSERT_GE(x, -5.0);
+        ASSERT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+    rng gen(5);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[gen.uniform_int(10)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+    }
+}
+
+TEST(Rng, UniformIntOneValue) {
+    rng gen(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(gen.uniform_int(1), 0u);
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    rng gen(13);
+    double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const double z = gen.normal();
+        sum += z;
+        sum2 += z * z;
+        sum3 += z * z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+    EXPECT_NEAR(sum3 / n, 0.0, 0.05);
+}
+
+TEST(Rng, NormalWithParameters) {
+    rng gen(17);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.normal(10.0, 3.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+    rng gen(19);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += gen.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, SplitIsIndependentOfDrawCount) {
+    rng a(42);
+    rng b(42);
+    b.next();
+    b.next();
+    b.next();
+    // Children depend only on the parent's seed and the tag.
+    rng child_a = a.split("stream");
+    rng child_b = b.split("stream");
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(child_a.next(), child_b.next());
+    }
+}
+
+TEST(Rng, SplitDifferentTagsDiffer) {
+    rng parent(42);
+    rng a = parent.split("alpha");
+    rng b = parent.split("beta");
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, IntegerSplitAdjacentTagsDiffer) {
+    rng parent(42);
+    rng a = parent.split(std::uint64_t{1});
+    rng b = parent.split(std::uint64_t{2});
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitStreamsLookUncorrelated) {
+    // Average pairwise correlation of uniforms across many child streams.
+    rng parent(31);
+    const int streams = 50, draws = 200;
+    std::vector<std::vector<double>> data(streams);
+    for (int s = 0; s < streams; ++s) {
+        rng child = parent.split(static_cast<std::uint64_t>(s));
+        for (int i = 0; i < draws; ++i) data[s].push_back(child.uniform());
+    }
+    double worst = 0.0;
+    for (int s = 1; s < streams; ++s) {
+        double corr = 0.0;
+        for (int i = 0; i < draws; ++i) {
+            corr += (data[0][i] - 0.5) * (data[s][i] - 0.5);
+        }
+        corr /= draws * (1.0 / 12.0);
+        worst = std::max(worst, std::abs(corr));
+    }
+    EXPECT_LT(worst, 0.35);  // ~4.9 sigma for n = 200
+}
+
+TEST(Rng, DistinctValues64Bit) {
+    rng gen(23);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) seen.insert(gen.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Discrete-event kernel: ordering, ties, cancellation, and the
+// clock-before-action contract (regression test for scheduling relative
+// to a stale clock).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace {
+
+using namespace csense::sim;
+
+TEST(EventQueue, OrdersByTime) {
+    event_queue q;
+    std::vector<int> order;
+    q.schedule(30.0, [&] { order.push_back(3); });
+    q.schedule(10.0, [&] { order.push_back(1); });
+    q.schedule(20.0, [&] { order.push_back(2); });
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+    event_queue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        q.schedule(5.0, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.run_next();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    event_queue q;
+    bool fired = false;
+    const auto id = q.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, SizeTracksPending) {
+    event_queue q;
+    const auto a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.run_next();
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+    event_queue q;
+    const auto a = q.schedule(1.0, [] {});
+    q.schedule(5.0, [] {});
+    q.cancel(a);
+    EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, ErrorsWhenEmpty) {
+    event_queue q;
+    EXPECT_THROW(q.next_time(), std::logic_error);
+    EXPECT_THROW(q.run_next(), std::logic_error);
+}
+
+TEST(Simulator, ClockAdvancesBeforeAction) {
+    // Regression: actions must observe now() == their scheduled time, so
+    // relative scheduling from inside a callback is correct.
+    simulator sim;
+    std::vector<double> observed;
+    sim.schedule_in(34.0, [&] {
+        observed.push_back(sim.now());
+        sim.schedule_in(9.0, [&] { observed.push_back(sim.now()); });
+    });
+    sim.run_until(100.0);
+    ASSERT_EQ(observed.size(), 2u);
+    EXPECT_DOUBLE_EQ(observed[0], 34.0);
+    EXPECT_DOUBLE_EQ(observed[1], 43.0);
+}
+
+TEST(Simulator, RunUntilIsInclusiveAndAdvancesClock) {
+    simulator sim;
+    int fired = 0;
+    sim.schedule_at(10.0, [&] { ++fired; });
+    sim.schedule_at(20.0, [&] { ++fired; });
+    sim.run_until(10.0);
+    EXPECT_EQ(fired, 1);  // events at exactly `until` run
+    EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+    sim.run_until(50.0);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(sim.now(), 50.0);  // clock reaches `until` even if idle
+}
+
+TEST(Simulator, CancelInFlight) {
+    simulator sim;
+    bool fired = false;
+    const auto id = sim.schedule_in(5.0, [&] { fired = true; });
+    sim.schedule_in(1.0, [&] { sim.cancel(id); });
+    sim.run_until(10.0);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+    simulator sim;
+    sim.schedule_in(1.0, [] {});
+    sim.run_until(5.0);
+    EXPECT_THROW(sim.schedule_at(2.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CascadedEventsRunAll) {
+    simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100) sim.schedule_in(1.0, chain);
+    };
+    sim.schedule_in(1.0, chain);
+    sim.run_all();
+    EXPECT_EQ(count, 100);
+    EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, DeterministicReplay) {
+    auto run = [] {
+        simulator sim;
+        std::vector<double> times;
+        for (int i = 0; i < 50; ++i) {
+            sim.schedule_in(i * 0.7, [&times, &sim] { times.push_back(sim.now()); });
+        }
+        sim.run_all();
+        return times;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Root finding and optimization: Brent's methods and Nelder-Mead on
+// functions with known solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/stats/solve.hpp"
+
+namespace {
+
+using namespace csense::stats;
+
+TEST(FindRoot, CosineRoot) {
+    const auto result =
+        find_root([](double x) { return std::cos(x); }, 0.0, 3.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, std::numbers::pi / 2.0, 1e-9);
+}
+
+TEST(FindRoot, PolynomialRoot) {
+    const auto result =
+        find_root([](double x) { return x * x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, std::cbrt(2.0), 1e-10);
+}
+
+TEST(FindRoot, EndpointRootReturnsImmediately) {
+    const auto result = find_root([](double x) { return x; }, 0.0, 1.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_DOUBLE_EQ(result.x, 0.0);
+}
+
+TEST(FindRoot, RequiresBracket) {
+    EXPECT_THROW(
+        find_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+        std::invalid_argument);
+}
+
+TEST(FindRoot, SteepFunction) {
+    const auto result = find_root(
+        [](double x) { return std::tanh(100.0 * (x - 0.3)); }, 0.0, 1.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, 0.3, 1e-7);
+}
+
+TEST(Minimize, Parabola) {
+    const auto result = minimize(
+        [](double x) { return (x - 1.7) * (x - 1.7) + 3.0; }, -10.0, 10.0);
+    EXPECT_NEAR(result.x, 1.7, 1e-6);
+    EXPECT_NEAR(result.fx, 3.0, 1e-10);
+}
+
+TEST(Minimize, AsymmetricFunction) {
+    // min of x^4 - 3x^3 + 2 at x = 9/4.
+    const auto result = minimize(
+        [](double x) { return std::pow(x, 4) - 3.0 * std::pow(x, 3) + 2.0; },
+        0.5, 5.0);
+    EXPECT_NEAR(result.x, 2.25, 1e-5);
+}
+
+TEST(Minimize, MinimumAtBoundary) {
+    const auto result = minimize([](double x) { return x; }, 2.0, 5.0);
+    EXPECT_NEAR(result.x, 2.0, 1e-4);
+}
+
+TEST(NelderMead, Sphere) {
+    const auto result = nelder_mead(
+        [](const std::vector<double>& x) {
+            double s = 0.0;
+            for (double v : x) s += v * v;
+            return s;
+        },
+        {3.0, -2.0, 1.0}, {1.0, 1.0, 1.0});
+    EXPECT_TRUE(result.converged);
+    for (double v : result.x) EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+TEST(NelderMead, Rosenbrock) {
+    const auto result = nelder_mead(
+        [](const std::vector<double>& x) {
+            const double a = 1.0 - x[0];
+            const double b = x[1] - x[0] * x[0];
+            return a * a + 100.0 * b * b;
+        },
+        {-1.2, 1.0}, {0.5, 0.5}, 1e-12, 20000);
+    EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, ShiftedQuadraticWithScales) {
+    const auto result = nelder_mead(
+        [](const std::vector<double>& x) {
+            return (x[0] - 100.0) * (x[0] - 100.0) +
+                   25.0 * (x[1] + 3.0) * (x[1] + 3.0);
+        },
+        {0.0, 0.0}, {10.0, 1.0}, 1e-12, 20000);
+    EXPECT_NEAR(result.x[0], 100.0, 1e-2);
+    EXPECT_NEAR(result.x[1], -3.0, 1e-3);
+}
+
+TEST(NelderMead, RejectsMismatchedScales) {
+    EXPECT_THROW(nelder_mead([](const std::vector<double>&) { return 0.0; },
+                             {1.0, 2.0}, {1.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
