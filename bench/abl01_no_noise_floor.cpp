@@ -11,7 +11,9 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(abl01_no_noise_floor,
+                "Ablation A1: optimal threshold and regime with the noise "
+                "floor removed") {
     bench::print_header("Ablation A1 - removing the noise floor",
                         "optimal threshold and regime vs Rmax, with the "
                         "thesis' N = -65 dB versus a negligible floor");
@@ -25,13 +27,13 @@ int main() {
     for (double rmax : {10.0, 20.0, 40.0, 80.0, 120.0}) {
         core::model_params with_noise;
         with_noise.sigma_db = 0.0;
-        core::expectation_engine engine_n(with_noise, quad, {20000, 42});
+        core::expectation_engine engine_n(with_noise, quad, {20000, ctx.seed});
         const auto t_n = core::optimal_threshold(engine_n, rmax);
         const auto r_n = core::classify_with_threshold(with_noise, rmax, t_n);
 
         core::model_params no_noise = with_noise;
         no_noise.noise_db = -140.0;  // effectively gone at these ranges
-        core::expectation_engine engine_0(no_noise, quad, {20000, 42});
+        core::expectation_engine engine_0(no_noise, quad, {20000, ctx.seed});
         const auto t_0 = core::optimal_threshold(engine_0, rmax);
         const auto r_0 = core::classify_with_threshold(no_noise, rmax, t_0);
 
@@ -39,6 +41,14 @@ int main() {
                     std::string(core::regime_name(r_n.regime)).c_str(),
                     t_0.d_thresh,
                     std::string(core::regime_name(r_0.regime)).c_str());
+        if (rmax == 120.0) {
+            ctx.metric("thresh_rmax120_noise", t_n.d_thresh);
+            ctx.metric("thresh_rmax120_no_noise", t_0.d_thresh);
+            ctx.metric("regime_rmax120_noise",
+                       std::string_view(core::regime_name(r_n.regime)));
+            ctx.metric("regime_rmax120_no_noise",
+                       std::string_view(core::regime_name(r_0.regime)));
+        }
     }
     std::printf("\nWithout a noise floor the threshold/Rmax ratio never "
                 "falls: no network is ever 'long range', interference never "

@@ -12,11 +12,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(abl02_fixed_bitrate,
+                "Ablation A2: adaptive (Shannon) vs fixed-bitrate carrier "
+                "sense efficiency") {
     bench::print_header("Ablation A2 - adaptive (Shannon) vs fixed bitrate",
                         "sigma = 0, Rmax = 55; fixed-rate capacity is "
                         "rate * 1{SINR >= requirement}");
-    const auto engine = bench::make_engine(0.0);
+    const auto engine = bench::make_engine(ctx, 0.0);
     const double rmax = 55.0;
     const double rate = 2.0;  // bits/s/Hz ~ mid-table 802.11a rate
 
@@ -62,6 +64,10 @@ int main() {
     std::printf("\nworst-case CS efficiency vs its own best branch: adaptive "
                 "%.1f%%, fixed-rate %.1f%%\n",
                 100.0 * worst_adaptive, 100.0 * worst_fixed);
+    ctx.metric("adaptive_thresh", adaptive_thresh.d_thresh);
+    ctx.metric("fixed_thresh", fixed_thresh);
+    ctx.metric("worst_eff_adaptive", worst_adaptive);
+    ctx.metric("worst_eff_fixed", worst_fixed);
     std::printf("The fixed-rate radio also *loses coverage*: receivers past "
                 "the SINR wall get zero, so CS's compromises throw away "
                 "whole receivers rather than a rate step - the step-function "

@@ -4,6 +4,7 @@
 // index, and the 10th-percentile receiver throughput under carrier sense
 // with the regime's own optimal threshold.
 #include <cstdio>
+#include <string>
 
 #include "bench/common.hpp"
 #include "src/core/fairness.hpp"
@@ -11,12 +12,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(abl04_fairness,
+                "Ablation A4: fairness and starvation across regimes") {
     bench::print_header("Ablation A4 - fairness across regimes",
                         "short range: no one starves at any D; long range: "
                         "a small nearby fraction is smothered once "
                         "concurrency engages inside the network");
-    const auto engine = bench::make_engine(0.0);
+    const auto engine = bench::make_engine(ctx, 0.0);
     const std::size_t samples = bench::fast_mode() ? 8000 : 40000;
 
     for (double rmax : {20.0, 120.0}) {
@@ -35,6 +37,14 @@ int main() {
             std::printf("%8.1f %10.4f %10.4f %10.3f %11.2f%%\n", d,
                         report.mean, report.p10, report.jain_index,
                         100.0 * report.starved_fraction);
+            if (factor == 1.05) {
+                const std::string prefix =
+                    "rmax" + std::to_string(static_cast<int>(rmax));
+                ctx.metric(prefix + "_jain_just_past_thresh",
+                           report.jain_index);
+                ctx.metric(prefix + "_starved_just_past_thresh",
+                           report.starved_fraction);
+            }
         }
     }
     std::printf("\nReading: in the short-range network the starved column "

@@ -1,6 +1,7 @@
-// Shared helpers for the reproduction benches. Every bench binary prints
+// Shared helpers for the reproduction scenarios. Every scenario prints
 // the paper artifact it regenerates (rows/series) and, where helpful, an
-// ASCII rendering. Setting CSENSE_FAST=1 shrinks run counts for quick
+// ASCII rendering, and records its headline numbers on the
+// scenario_context. Setting CSENSE_FAST=1 shrinks run counts for quick
 // iteration; default settings aim at the fidelity of the thesis' plots.
 #pragma once
 
@@ -8,6 +9,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/registry.hpp"
 #include "src/core/expected.hpp"
 
 namespace csense::bench {
@@ -18,8 +20,10 @@ inline bool fast_mode() {
     return env != nullptr && env[0] == '1';
 }
 
-/// Engine with the thesis' default environment (alpha 3, N = -65 dB).
-inline core::expectation_engine make_engine(double sigma_db,
+/// Engine with the thesis' default environment (alpha 3, N = -65 dB),
+/// seeded from the run's --seed so Monte Carlo terms are reproducible.
+inline core::expectation_engine make_engine(const scenario_context& ctx,
+                                            double sigma_db,
                                             bool high_accuracy = false) {
     core::model_params params;
     params.alpha = 3.0;
@@ -27,6 +31,7 @@ inline core::expectation_engine make_engine(double sigma_db,
     params.noise_db = -65.0;
     core::quadrature_options quad;
     core::mc_options mc;
+    mc.seed = ctx.seed;
     if (fast_mode()) {
         quad.radial_nodes = 24;
         quad.angular_nodes = 32;

@@ -52,7 +52,9 @@ void show(const char* title, const std::vector<double>& values) {
 
 }  // namespace
 
-int main() {
+CSENSE_SCENARIO(fig02_capacity_landscape,
+                "Figure 2: capacity landscape C_i(r, theta) vs receiver "
+                "position") {
     bench::print_header("Figure 2 - capacity landscape C_i(r, theta)",
                         "alpha = 3, sigma = 0, P0/N0 = 65 dB; capacity as a "
                         "function of receiver position");
@@ -85,5 +87,11 @@ int main() {
     }
     std::printf("\nNote the interferer 'hole' on the -x axis and the global "
                 "droop as D shrinks - not a cookie-cutter region.\n");
+    ctx.metric("single_r55", core::capacity_single(params, 55.0));
+    ctx.metric("mux_r55", core::capacity_multiplexing(params, 55.0));
+    ctx.metric("conc_r55_D55",
+               core::capacity_concurrent(params, 55.0, 0.0, 55.0));
+    ctx.metric("conc_r55_D120",
+               core::capacity_concurrent(params, 55.0, 0.0, 120.0));
     return 0;
 }

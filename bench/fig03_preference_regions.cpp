@@ -2,6 +2,7 @@
 // prefers concurrency, light = prefers multiplexing, white = prefers
 // multiplexing and is starved (< 10% of C_UBmax) without it.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -10,7 +11,8 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig03_preference_regions,
+                "Figure 3: receiver preference regions at D = 20, 55, 120") {
     bench::print_header("Figure 3 - receiver preference regions",
                         "alpha = 3, sigma = 0; interferer on the -x axis; "
                         "'#' prefers concurrency, '.' multiplexing, ' ' "
@@ -53,6 +55,14 @@ int main() {
                         rmax, 100.0 * summary.fraction_concurrency,
                         100.0 * summary.fraction_multiplexing,
                         100.0 * summary.fraction_starved);
+            if (d == 55.0) {
+                const std::string prefix =
+                    "D55_rmax" + std::to_string(static_cast<int>(rmax));
+                ctx.metric(prefix + "_frac_concurrency",
+                           summary.fraction_concurrency);
+                ctx.metric(prefix + "_frac_starved",
+                           summary.fraction_starved);
+            }
         }
     }
     std::printf("\nPaper: at D = 20 multiplexing is optimal for all Rmax up "

@@ -3,6 +3,7 @@
 // Rmax in {20, 55, 120}; curves: multiplexing, concurrency, optimal.
 // Vertical axis normalized to the Rmax = 20, D = infinity throughput.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -10,11 +11,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig04_throughput_curves,
+                "Figure 4: average MAC throughput vs inter-sender distance "
+                "(sigma = 0)") {
     bench::print_header("Figure 4 - average MAC throughput curves (sigma = 0)",
                         "normalized to Rmax = 20, D = inf; optimal converges "
                         "to multiplexing at small D and concurrency at large D");
-    const auto engine = bench::make_engine(0.0);
+    const auto engine = bench::make_engine(ctx, 0.0);
     const double unit = engine.normalization();
 
     for (double rmax : {20.0, 55.0, 120.0}) {
@@ -44,6 +47,12 @@ int main() {
         opts.y_label = "normalized throughput";
         std::printf("%s", report::render_chart({s_mux, s_conc, s_opt},
                                                opts).c_str());
+        const std::string prefix =
+            "rmax" + std::to_string(static_cast<int>(rmax));
+        ctx.metric(prefix + "_mux", mux);
+        ctx.metric(prefix + "_conc_at_3rmax", s_conc.y.back());
+        ctx.metric(prefix + "_opt_at_3rmax", s_opt.y.back());
     }
+    ctx.metric("normalization", unit);
     return 0;
 }

@@ -9,11 +9,12 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig05_cs_piecewise,
+                "Figure 5: carrier-sense piecewise curve at Rmax = 55") {
     bench::print_header("Figure 5 - carrier sense piecewise curve, Rmax = 55",
                         "sigma = 0; CS follows multiplexing left of the "
                         "threshold and concurrency right of it");
-    const auto engine = bench::make_engine(0.0);
+    const auto engine = bench::make_engine(ctx, 0.0);
     const double unit = engine.normalization();
     const double rmax = 55.0;
     const auto thresh = core::optimal_threshold(engine, rmax);
@@ -44,5 +45,11 @@ int main() {
     opts.x_label = "inter-sender distance D (threshold at the CS kink)";
     opts.y_label = "normalized throughput";
     std::printf("%s", report::render_chart({s_cs, s_opt}, opts).c_str());
+    ctx.metric("d_thresh", thresh.d_thresh);
+    ctx.metric("crossing_value_norm", thresh.crossing_value / unit);
+    ctx.metric("mux_norm", mux);
+    // Monte Carlo term: seed-sensitive, exercised by the determinism test.
+    ctx.metric("opt_at_3rmax_norm", s_opt.y.back());
+    ctx.metric("cs_at_3rmax_norm", s_cs.y.back());
     return 0;
 }

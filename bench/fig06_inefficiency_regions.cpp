@@ -11,11 +11,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig06_inefficiency_regions,
+                "Figure 6: exposed/hidden inefficiency decomposition at "
+                "Rmax = 55") {
     bench::print_header("Figure 6 - inefficiency decomposition, Rmax = 55",
                         "sigma = 0; gaps integrate optimal-minus-CS over D "
                         "on each side of the threshold");
-    const auto engine = bench::make_engine(0.0);
+    const auto engine = bench::make_engine(ctx, 0.0);
     const double rmax = 55.0;
     const auto best = core::optimal_threshold(engine, rmax);
     const int grid = bench::fast_mode() ? 20 : 50;
@@ -30,6 +32,13 @@ int main() {
         std::printf("%10.1f %14.4f %14.4f %16.4f %16.4f\n", d_thresh,
                     parts.exposed_area, parts.hidden_area,
                     parts.avoidable_exposed, parts.avoidable_hidden);
+        if (d_thresh == best.d_thresh) {
+            ctx.metric("best_d_thresh", best.d_thresh);
+            ctx.metric("exposed_area", parts.exposed_area);
+            ctx.metric("hidden_area", parts.hidden_area);
+            ctx.metric("avoidable_exposed", parts.avoidable_exposed);
+            ctx.metric("avoidable_hidden", parts.avoidable_hidden);
+        }
     }
     std::printf("\nAt the optimal threshold (%.1f) both avoidable triangles "
                 "nearly vanish; moving the threshold left grows the hidden "

@@ -13,7 +13,9 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig07_optimal_threshold,
+                "Figure 7: optimal threshold vs network radius for alpha "
+                "2..4") {
     bench::print_header("Figure 7 - optimal threshold vs network radius",
                         "sigma = 8 dB; thresholds expressed as the "
                         "equivalent distance at alpha = 3");
@@ -40,7 +42,7 @@ int main() {
         quad.radial_nodes = bench::fast_mode() ? 20 : 32;
         quad.angular_nodes = bench::fast_mode() ? 24 : 40;
         quad.shadow_nodes = bench::fast_mode() ? 8 : 10;
-        core::expectation_engine engine(params, quad, {20000, 42});
+        core::expectation_engine engine(params, quad, {20000, ctx.seed});
         report::series s{std::string("alpha ") + report::fmt(alpha, 1), {}, {},
                          marker};
         for (std::size_t i = 0; i < rmax_values.size(); ++i) {
@@ -84,7 +86,7 @@ int main() {
     // Footnote 13's asymptote at alpha = 3, short range.
     core::model_params p3;
     p3.sigma_db = 0.0;
-    const auto engine3 = bench::make_engine(0.0);
+    const auto engine3 = bench::make_engine(ctx, 0.0);
     std::printf("\nshort-range asymptote check (alpha = 3, sigma = 0):\n");
     std::printf("%8s %12s %12s %8s\n", "Rmax", "exact", "asymptote", "ratio");
     for (double rmax : {0.5, 1.0, 2.0, 5.0}) {
@@ -92,6 +94,12 @@ int main() {
         const double approx = core::short_range_threshold_asymptote(p3, rmax);
         std::printf("%8.1f %12.2f %12.2f %8.3f\n", rmax, exact, approx,
                     exact / approx);
+        if (rmax == 1.0) ctx.metric("asymptote_ratio_rmax1", exact / approx);
+    }
+    // Equivalent thresholds at the largest radius, one per alpha curve.
+    for (std::size_t a = 0; a < alphas.size(); ++a) {
+        ctx.metric("equiv_thresh_a" + report::fmt(alphas[a], 1) + "_rmax_max",
+                   table.back()[a]);
     }
     std::printf("\nPaper: short range clusters together (thresholds scale "
                 "~sqrt(Rmax)); long range spreads with alpha; the regime "

@@ -11,7 +11,9 @@
 using namespace csense;
 using namespace csense::propagation;
 
-int main() {
+CSENSE_SCENARIO(fig08_barrier_paths,
+                "Figure 8: propagation pathways past a barrier (why hidden "
+                "terminals are hard to build)") {
     bench::print_header("Figure 8 - propagation pathways past a barrier",
                         "why hidden-terminal configurations are hard to "
                         "build: every leakage path, quantified");
@@ -58,5 +60,10 @@ int main() {
                 "audible at WLAN link budgets; shadowing is a ~%.0f dB-scale "
                 "effect, not an on/off wall.\n",
                 combine_paths_db(paths, 3));
+    ctx.metric("interior_wall_db",
+               wall_attenuation_db(wall_material::interior_wall));
+    ctx.metric("reflection_loss_db", typical_reflection_loss_db());
+    ctx.metric("knife_edge_3m_db", knife_edge_loss_db(3.0, 5.0, 5.0, 2.4e9));
+    ctx.metric("combined_leakage_db", combine_paths_db(paths, 3));
     return 0;
 }

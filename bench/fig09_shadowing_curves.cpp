@@ -10,12 +10,14 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig09_shadowing_curves,
+                "Figure 9: throughput curves with 8 dB shadowing vs the "
+                "sigma = 0 reference") {
     bench::print_header("Figure 9 - throughput curves with 8 dB shadowing",
                         "solid model sigma = 8 dB vs sigma = 0 reference; "
                         "normalized to sigma = 0 Rmax = 20, D = inf");
-    const auto shadowed = bench::make_engine(8.0);
-    const auto reference = bench::make_engine(0.0);
+    const auto shadowed = bench::make_engine(ctx, 8.0);
+    const auto reference = bench::make_engine(ctx, 0.0);
     const double unit = reference.normalization();
     const double d_thresh = 55.0;
 
@@ -68,5 +70,9 @@ int main() {
     const auto t0 = core::optimal_threshold(reference, 120.0);
     std::printf("optimal threshold at Rmax = 120: sigma 8 -> %.1f, sigma 0 "
                 "-> %.1f (the leftward shift).\n", t8.d_thresh, t0.d_thresh);
+    ctx.metric("conc_mux_ratio_sigma8", gap_8);
+    ctx.metric("conc_mux_ratio_sigma0", gap_0);
+    ctx.metric("thresh_rmax120_sigma8", t8.d_thresh);
+    ctx.metric("thresh_rmax120_sigma0", t0.d_thresh);
     return 0;
 }

@@ -9,11 +9,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig10_short_scatter,
+                "Figure 10: short-range competitive comparison vs carrier "
+                "sense") {
     bench::print_header("Figure 10 - short range competitive comparison vs CS",
                         "pairs with >= 94% delivery at 6 Mb/s; mux and conc "
                         "totals vs the CS total per run");
-    const auto data = bench::dataset(/*short_range=*/true);
+    const auto data = bench::dataset(ctx, /*short_range=*/true);
 
     std::printf("\n%10s %10s %10s %10s\n", "CS pkt/s", "mux", "conc", "rssi");
     report::series s_mux{"multiplexing", {}, {}, 'm'};
@@ -46,5 +48,9 @@ int main() {
                 "bested by multiplexing or concurrency ... the gains are not "
                 "especially compelling.'\n",
                 beaten, data.runs.size(), 100.0 * worst);
+    ctx.metric("runs", static_cast<std::int64_t>(data.runs.size()));
+    ctx.metric("cs_beaten_runs", beaten);
+    ctx.metric("worst_cs_fraction", worst);
+    ctx.metric("avg_cs_pps", data.avg_cs);
     return 0;
 }

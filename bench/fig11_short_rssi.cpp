@@ -8,11 +8,12 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig11_short_rssi,
+                "Figure 11: short-range throughput vs sender-sender RSSI") {
     bench::print_header("Figure 11 - short range throughput vs sender RSSI",
                         "same dataset as Figure 10, plotted against the "
                         "metric carrier sense actually thresholds on");
-    const auto data = bench::dataset(/*short_range=*/true);
+    const auto data = bench::dataset(ctx, /*short_range=*/true);
 
     std::printf("\n%10s %10s %10s %10s\n", "rssi dB", "mux", "conc", "CS");
     report::series s_mux{"multiplexing", {}, {}, 'm'};
@@ -53,11 +54,16 @@ int main() {
         std::printf("\nclose region (RSSI > 20 dB, %d runs): CS/mux = %.2f "
                     "(paper: coincide)\n",
                     n_close, close_cs / close_mux);
+        ctx.metric("close_runs", n_close);
+        ctx.metric("close_cs_over_mux", close_cs / close_mux);
     }
     if (n_far > 0) {
         std::printf("far region (RSSI < 5 dB, %d runs): CS/conc = %.2f "
                     "(coincide), conc/mux = %.2f (approaching 2)\n",
                     n_far, far_cs / far_conc, far_conc / far_mux);
+        ctx.metric("far_runs", n_far);
+        ctx.metric("far_cs_over_conc", far_cs / far_conc);
+        ctx.metric("far_conc_over_mux", far_conc / far_mux);
     }
     return 0;
 }

@@ -8,10 +8,12 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig12_long_scatter,
+                "Figure 12: long-range competitive comparison vs carrier "
+                "sense") {
     bench::print_header("Figure 12 - long range competitive comparison vs CS",
                         "pairs with 80-95% delivery at 6 Mb/s");
-    const auto data = bench::dataset(/*short_range=*/false);
+    const auto data = bench::dataset(ctx, /*short_range=*/false);
 
     std::printf("\n%10s %10s %10s %10s\n", "CS pkt/s", "mux", "conc", "rssi");
     report::series s_mux{"multiplexing", {}, {}, 'm'};
@@ -49,5 +51,9 @@ int main() {
                 "intermediate between pure concurrency and multiplexing - "
                 "the paper's 'fluttering' CS decisions.\n",
                 transition, intermediate);
+    ctx.metric("runs", static_cast<std::int64_t>(data.runs.size()));
+    ctx.metric("transition_runs", transition);
+    ctx.metric("intermediate_runs", intermediate);
+    ctx.metric("avg_cs_pps", data.avg_cs);
     return 0;
 }

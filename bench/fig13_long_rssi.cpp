@@ -9,11 +9,12 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig13_long_rssi,
+                "Figure 13: long-range throughput vs sender-sender RSSI") {
     bench::print_header("Figure 13 - long range throughput vs sender RSSI",
                         "transition sits lower than short range and consists "
                         "mainly of hidden-terminal-style concurrency");
-    const auto data = bench::dataset(/*short_range=*/false);
+    const auto data = bench::dataset(ctx, /*short_range=*/false);
 
     std::printf("\n%10s %10s %10s %10s\n", "rssi dB", "mux", "conc", "CS");
     report::series s_mux{"multiplexing", {}, {}, 'm'};
@@ -50,5 +51,8 @@ int main() {
                 "predicts the former dominates for a threshold tuned to the "
                 "average case rather than long range.\n",
                 undesirable_conc, undesirable_mux);
+    ctx.metric("undesirable_concurrency_runs", undesirable_conc);
+    ctx.metric("undesirable_multiplexing_runs", undesirable_mux);
+    ctx.metric("avg_cs_pps", data.avg_cs);
     return 0;
 }

@@ -12,7 +12,9 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fig14_propagation_fit,
+                "Figure 14: 2.4 GHz propagation survey with censored ML "
+                "path-loss fit") {
     bench::print_header("Figure 14 - propagation survey and ML fit (2.4 GHz)",
                         "SNR vs distance for all pairs; censored-ML fit with "
                         "+-1 sigma bounds; paper: alpha 3.6, sigma 10.4 dB");
@@ -64,5 +66,9 @@ int main() {
     std::printf("\n(the thesis' fit 'accounts for the invisibility of "
                 "sub-threshold links'; the naive row shows why that "
                 "correction matters)\n");
+    ctx.metric("fit_alpha", survey.fit.alpha);
+    ctx.metric("fit_sigma_db", survey.fit.sigma_db);
+    ctx.metric("naive_alpha", survey.naive_fit.alpha);
+    ctx.metric("censored_count", survey.censored_count);
     return 0;
 }

@@ -10,15 +10,17 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(fn12_slope_bound,
+                "Footnote 12: concurrency-curve slope bound 1.37 / Rmax") {
     bench::print_header("Footnote 12 - concurrency curve slope bound",
                         "max_D d<C_conc>/dD for D > Rmax, normalized; bound "
                         "is 1.37 / Rmax");
-    const auto engine = bench::make_engine(0.0);
+    const auto engine = bench::make_engine(ctx, 0.0);
     const double unit = engine.normalization();
 
     std::printf("%8s %16s %12s %10s\n", "Rmax", "max slope (1/D)", "1.37/Rmax",
                 "at D =");
+    double worst_margin = 0.0;  // max over Rmax of slope / bound
     for (double rmax : {20.0, 40.0, 55.0, 80.0, 120.0}) {
         double worst = 0.0, worst_d = 0.0;
         for (double d = rmax * 1.02; d < rmax * 8.0; d *= 1.08) {
@@ -34,7 +36,10 @@ int main() {
         std::printf("%8.0f %16.5f %12.5f %10.1f   %s\n", rmax, worst,
                     1.37 / rmax, worst_d,
                     worst <= 1.37 / rmax * 1.01 ? "OK" : "VIOLATED");
+        worst_margin = std::max(worst_margin, worst / (1.37 / rmax));
     }
+    ctx.metric("worst_slope_over_bound", worst_margin);
+    ctx.metric("bound_holds", worst_margin <= 1.01);
     std::printf("\nThe bound holding means the throughput cost of a "
                 "threshold error of dD is at most 1.37 * dD / Rmax "
                 "normalized units - small thresholds mistakes are cheap.\n");

@@ -1,0 +1,194 @@
+// csense_bench: the unified scenario runner. All figures, tables,
+// ablations and microbenchmarks of the reproduction live behind one
+// binary:
+//
+//   csense_bench --list                  enumerate scenarios
+//   csense_bench                         run everything
+//   csense_bench --filter 'fig*'         run the figure scenarios
+//   csense_bench --seed 1234             base seed for all RNG
+//   csense_bench --json out.json         machine-readable results/timings
+//   csense_bench --no-timings            omit wall-clock fields from the
+//                                        JSON (byte-identical reruns)
+//
+// Setting CSENSE_FAST=1 shrinks Monte Carlo / simulation budgets.
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/registry.hpp"
+#include "src/report/json.hpp"
+
+namespace {
+
+using csense::bench::scenario;
+
+struct options {
+    bool list = false;
+    bool timings = true;
+    std::uint64_t seed = 7;
+    std::string filter = "*";
+    std::string json_path;
+};
+
+void print_usage(std::FILE* out) {
+    std::fprintf(out,
+                 "usage: csense_bench [--list] [--filter <glob>] "
+                 "[--seed <n>] [--json <path>] [--no-timings]\n");
+}
+
+bool parse_args(int argc, char** argv, options& opts) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "csense_bench: %s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--list" || arg == "-l") {
+            opts.list = true;
+        } else if (arg == "--filter" || arg == "-f") {
+            const char* v = value("--filter");
+            if (v == nullptr) return false;
+            opts.filter = v;
+        } else if (arg == "--seed" || arg == "-s") {
+            const char* v = value("--seed");
+            if (v == nullptr) return false;
+            // strtoull silently wraps negatives and saturates on overflow;
+            // both would make distinct-looking seeds alias, so reject them.
+            errno = 0;
+            char* end = nullptr;
+            opts.seed = std::strtoull(v, &end, 10);
+            if (v[0] == '-' || end == v || *end != '\0' || errno == ERANGE) {
+                std::fprintf(stderr,
+                             "csense_bench: bad --seed '%s' (need an "
+                             "unsigned 64-bit integer)\n", v);
+                return false;
+            }
+        } else if (arg == "--json" || arg == "-j") {
+            const char* v = value("--json");
+            if (v == nullptr) return false;
+            opts.json_path = v;
+        } else if (arg == "--no-timings") {
+            opts.timings = false;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage(stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "csense_bench: unknown argument '%s'\n",
+                         argv[i]);
+            print_usage(stderr);
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<const scenario*> select(const std::string& filter) {
+    std::vector<const scenario*> selected;
+    for (const auto& s : csense::bench::scenarios()) {
+        if (csense::bench::glob_match(filter, s.name)) {
+            selected.push_back(&s);
+        }
+    }
+    return selected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    options opts;
+    if (!parse_args(argc, argv, opts)) return 2;
+
+    const auto selected = select(opts.filter);
+    if (selected.empty()) {
+        std::fprintf(stderr, "csense_bench: no scenario matches '%s'\n",
+                     opts.filter.c_str());
+        return 1;
+    }
+
+    if (opts.list) {
+        for (const auto* s : selected) {
+            std::printf("%-28s %s\n", s->name.c_str(),
+                        s->description.c_str());
+        }
+        std::printf("(%zu scenarios)\n", selected.size());
+        return 0;
+    }
+
+    using clock = std::chrono::steady_clock;
+    namespace report = csense::report;
+
+    report::json_value doc = report::json_value::object();
+    doc["schema"] = "csense-bench/1";
+    doc["seed"] = opts.seed;
+    doc["fast_mode"] = csense::bench::fast_mode();
+    doc["filter"] = std::string_view(opts.filter);
+    report::json_value results = report::json_value::array();
+
+    struct timing {
+        const scenario* s;
+        int status;
+        double elapsed_ms;
+    };
+    std::vector<timing> timings;
+
+    int failures = 0;
+    const auto run_start = clock::now();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const scenario& s = *selected[i];
+        std::printf("\n### [%zu/%zu] %s\n", i + 1, selected.size(),
+                    s.name.c_str());
+        csense::bench::scenario_context ctx;
+        ctx.seed = opts.seed;
+        const auto start = clock::now();
+        const int status = s.run(ctx);
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(clock::now() - start)
+                .count();
+        if (status != 0) ++failures;
+        timings.push_back({&s, status, elapsed_ms});
+
+        report::json_value entry = report::json_value::object();
+        entry["name"] = std::string_view(s.name);
+        entry["description"] = std::string_view(s.description);
+        entry["status"] = status;
+        entry["metrics"] = std::move(ctx.metrics);
+        if (opts.timings) entry["elapsed_ms"] = elapsed_ms;
+        results.push_back(std::move(entry));
+    }
+    const double total_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - run_start)
+            .count();
+
+    doc["scenarios"] = std::move(results);
+    if (opts.timings) doc["total_elapsed_ms"] = total_ms;
+
+    std::printf("\n%-28s %8s %12s\n", "scenario", "status", "elapsed");
+    for (const auto& t : timings) {
+        std::printf("%-28s %8s %10.1f ms\n", t.s->name.c_str(),
+                    t.status == 0 ? "ok" : "FAIL", t.elapsed_ms);
+    }
+    std::printf("%zu scenario(s), %d failure(s), %.1f ms total\n",
+                timings.size(), failures, total_ms);
+
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path);
+        if (!out) {
+            std::fprintf(stderr, "csense_bench: cannot write '%s'\n",
+                         opts.json_path.c_str());
+            return 1;
+        }
+        out << doc.dump(2);
+        std::printf("wrote %s\n", opts.json_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -4,6 +4,10 @@
 // event queue, and a saturated DCF second.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 #include "src/capacity/rate_table.hpp"
 #include "src/core/expected.hpp"
 #include "src/core/policies.hpp"
@@ -16,6 +20,13 @@ namespace {
 
 using namespace csense;
 
+// In fast mode, shrink every benchmark's measuring time. Applied via the
+// double-typed MinTime() API, which is stable across google-benchmark
+// 1.7/1.8 (unlike the --benchmark_min_time flag, whose format changed).
+void tune(benchmark::internal::Benchmark* b) {
+    if (csense::bench::fast_mode()) b->MinTime(0.05);
+}
+
 void bm_capacity_concurrent_point(benchmark::State& state) {
     core::model_params params;
     params.sigma_db = 0.0;
@@ -26,7 +37,7 @@ void bm_capacity_concurrent_point(benchmark::State& state) {
         r = (r < 100.0) ? r + 0.1 : 5.0;
     }
 }
-BENCHMARK(bm_capacity_concurrent_point);
+BENCHMARK(bm_capacity_concurrent_point)->Apply(tune);
 
 void bm_disc_average(benchmark::State& state) {
     const auto n = static_cast<int>(state.range(0));
@@ -36,7 +47,7 @@ void bm_disc_average(benchmark::State& state) {
             55.0, n, n));
     }
 }
-BENCHMARK(bm_disc_average)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(bm_disc_average)->Arg(16)->Arg(32)->Arg(64)->Apply(tune);
 
 void bm_expected_concurrent_shadowed(benchmark::State& state) {
     core::model_params params;
@@ -50,7 +61,7 @@ void bm_expected_concurrent_shadowed(benchmark::State& state) {
         benchmark::DoNotOptimize(engine.expected_concurrent(55.0, 55.0));
     }
 }
-BENCHMARK(bm_expected_concurrent_shadowed)->Arg(8)->Arg(16);
+BENCHMARK(bm_expected_concurrent_shadowed)->Arg(8)->Arg(16)->Apply(tune);
 
 void bm_expected_optimal(benchmark::State& state) {
     core::model_params params;
@@ -66,7 +77,7 @@ void bm_expected_optimal(benchmark::State& state) {
         benchmark::DoNotOptimize(engine.expected_optimal(55.0, 55.0));
     }
 }
-BENCHMARK(bm_expected_optimal)->Arg(10000)->Arg(100000);
+BENCHMARK(bm_expected_optimal)->Arg(10000)->Arg(100000)->Apply(tune);
 
 void bm_rectified_pair_mean(benchmark::State& state) {
     stats::rng gen(7);
@@ -79,7 +90,7 @@ void bm_rectified_pair_mean(benchmark::State& state) {
         benchmark::DoNotOptimize(core::rectified_pair_mean(std::move(copy)));
     }
 }
-BENCHMARK(bm_rectified_pair_mean)->Arg(10000)->Arg(100000);
+BENCHMARK(bm_rectified_pair_mean)->Arg(10000)->Arg(100000)->Apply(tune);
 
 void bm_event_queue(benchmark::State& state) {
     for (auto _ : state) {
@@ -92,7 +103,7 @@ void bm_event_queue(benchmark::State& state) {
         benchmark::DoNotOptimize(counter);
     }
 }
-BENCHMARK(bm_event_queue);
+BENCHMARK(bm_event_queue)->Apply(tune);
 
 void bm_dcf_simulated_second(benchmark::State& state) {
     const auto& rate = capacity::rate_by_mbps(24.0);
@@ -107,6 +118,24 @@ void bm_dcf_simulated_second(benchmark::State& state) {
         benchmark::DoNotOptimize(result.total_pps());
     }
 }
-BENCHMARK(bm_dcf_simulated_second)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_dcf_simulated_second)
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(tune);
 
 }  // namespace
+
+CSENSE_SCENARIO(perf_micro,
+                "Microbenchmarks for the numerical and simulation hot paths "
+                "(google-benchmark)") {
+    csense::bench::print_header(
+        "perf_micro - hot path microbenchmarks",
+        "point capacities, disc quadrature, shadowed expectations, the "
+        "U-statistic estimator, the event queue, a saturated DCF second");
+    std::string program = "csense_bench";
+    std::vector<char*> argv = {program.data()};
+    int argc = static_cast<int>(argv.size());
+    benchmark::Initialize(&argc, argv.data());
+    const std::size_t run = benchmark::RunSpecifiedBenchmarks();
+    ctx.metric("benchmarks_run", static_cast<std::int64_t>(run));
+    return run > 0 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "bench/registry.hpp"
+
+#include <algorithm>
+
+namespace csense::bench {
+namespace {
+
+std::vector<scenario>& mutable_registry() {
+    static std::vector<scenario> registry;
+    return registry;
+}
+
+bool sorted = false;
+
+}  // namespace
+
+bool register_scenario(std::string_view name, std::string_view description,
+                       scenario_fn fn) {
+    mutable_registry().push_back(
+        {std::string(name), std::string(description), fn});
+    sorted = false;
+    return true;
+}
+
+const std::vector<scenario>& scenarios() {
+    auto& registry = mutable_registry();
+    if (!sorted) {
+        // Registration order depends on link order; sort so --list and
+        // the JSON document are stable.
+        std::sort(registry.begin(), registry.end(),
+                  [](const scenario& a, const scenario& b) {
+                      return a.name < b.name;
+                  });
+        sorted = true;
+    }
+    return registry;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+    // Iterative glob with '*' backtracking.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string_view::npos, star_t = 0;
+    while (t < text.size()) {
+        // '*' must be checked before the literal branch, or a literal '*'
+        // in the text would consume the wildcard as a one-character match.
+        if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (p < pattern.size() &&
+                   (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (star != std::string_view::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
+}
+
+}  // namespace csense::bench

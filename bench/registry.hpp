@@ -1,0 +1,66 @@
+// The bench scenario registry. Every reproduction artifact (figure,
+// table, ablation, microbenchmark) is one scenario: a named function that
+// prints its human-readable output and records headline numbers into the
+// run's JSON document. Scenarios self-register at static-initialisation
+// time via CSENSE_SCENARIO, and the csense_bench driver selects them with
+// --list / --filter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/report/json.hpp"
+
+namespace csense::bench {
+
+/// Per-run state handed to each scenario.
+struct scenario_context {
+    /// Base RNG seed (--seed). Scenarios must derive every stochastic
+    /// component from this so a run is reproducible byte-for-byte.
+    std::uint64_t seed = 7;
+
+    /// Headline numbers recorded by the scenario; emitted under
+    /// "metrics" in the --json document, in insertion order.
+    report::json_value metrics = report::json_value::object();
+
+    /// Records one named metric (number, string or bool).
+    void metric(std::string_view name, report::json_value value) {
+        metrics[name] = std::move(value);
+    }
+};
+
+using scenario_fn = int (*)(scenario_context&);
+
+struct scenario {
+    std::string name;         ///< e.g. "fig05_cs_piecewise"
+    std::string description;  ///< one line for --list
+    scenario_fn run = nullptr;
+};
+
+/// Registers a scenario; called by the CSENSE_SCENARIO macro.
+bool register_scenario(std::string_view name, std::string_view description,
+                       scenario_fn fn);
+
+/// All registered scenarios, sorted by name (stable across link order).
+const std::vector<scenario>& scenarios();
+
+/// Case-sensitive glob match supporting '*' and '?'.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Defines and registers a scenario. Usage:
+///   CSENSE_SCENARIO(fig05_cs_piecewise, "Figure 5 - ...") {
+///       ...use ctx...
+///       return 0;
+///   }
+#define CSENSE_SCENARIO(ident, desc)                                       \
+    static int csense_scenario_##ident(                                    \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx);          \
+    [[maybe_unused]] static const bool csense_scenario_reg_##ident =       \
+        ::csense::bench::register_scenario(#ident, desc,                   \
+                                           &csense_scenario_##ident);      \
+    static int csense_scenario_##ident(                                    \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx)
+
+}  // namespace csense::bench

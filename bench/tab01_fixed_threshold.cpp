@@ -14,11 +14,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(tab01_fixed_threshold,
+                "Table 1: carrier-sense efficiency with the fixed factory "
+                "threshold 55") {
     bench::print_header("Table 1 (S3.2.5) - CS efficiency, fixed threshold 55",
                         "alpha = 3, sigma = 8 dB; entries are "
                         "<C_cs>/<C_max>; paper values in parentheses");
-    const auto engine = bench::make_engine(8.0, /*high_accuracy=*/true);
+    const auto engine = bench::make_engine(ctx, 8.0, /*high_accuracy=*/true);
     const double paper[3][3] = {{96, 88, 96}, {96, 87, 96}, {89, 83, 92}};
     const double rmax_values[3] = {20.0, 40.0, 120.0};
     const double d_values[3] = {20.0, 55.0, 120.0};
@@ -31,6 +33,9 @@ int main() {
                                                        d_values[j], 55.0);
             row.push_back(report::fmt_percent(point.efficiency()) + " (" +
                           report::fmt(paper[i][j], 0) + "%)");
+            ctx.metric("eff_rmax" + report::fmt(rmax_values[i], 0) + "_d" +
+                           report::fmt(d_values[j], 0),
+                       point.efficiency());
         }
         table.add_row(std::move(row));
     }

@@ -13,11 +13,13 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(tab02_tuned_threshold,
+                "Table 2: carrier-sense efficiency with per-scenario tuned "
+                "thresholds") {
     bench::print_header("Table 2 (S3.2.5) - CS efficiency, tuned thresholds",
                         "alpha = 3, sigma = 8 dB; per-row optimal threshold; "
                         "paper values in parentheses");
-    const auto engine = bench::make_engine(8.0, /*high_accuracy=*/true);
+    const auto engine = bench::make_engine(ctx, 8.0, /*high_accuracy=*/true);
     const double paper[3][3] = {{93, 91, 99}, {96, 87, 96}, {89, 83, 92}};
     const double paper_thresh[3] = {40.0, 55.0, 60.0};
     const double rmax_values[3] = {20.0, 40.0, 120.0};
@@ -27,6 +29,8 @@ int main() {
         {"Rmax (Dthresh, paper)", "D=20", "D=55", "D=120"});
     for (int i = 0; i < 3; ++i) {
         const auto tuned = core::optimal_threshold(engine, rmax_values[i]);
+        ctx.metric("tuned_thresh_rmax" + report::fmt(rmax_values[i], 0),
+                   tuned.d_thresh);
         std::vector<std::string> row{
             report::fmt(rmax_values[i], 0) + " (" +
             report::fmt(tuned.d_thresh, 1) + ", " +
@@ -36,6 +40,9 @@ int main() {
                 engine, rmax_values[i], d_values[j], tuned.d_thresh);
             row.push_back(report::fmt_percent(point.efficiency()) + " (" +
                           report::fmt(paper[i][j], 0) + "%)");
+            ctx.metric("eff_rmax" + report::fmt(rmax_values[i], 0) + "_d" +
+                           report::fmt(d_values[j], 0),
+                       point.efficiency());
         }
         table.add_row(std::move(row));
     }

@@ -7,13 +7,15 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(tab03_short_summary,
+                "Table 3: short-range ensemble averages per strategy") {
     bench::print_header("Table 3 (S4.1) - short range ensemble averages",
                         "average throughput over all runs; paper's absolute "
                         "pkt/s depend on their hardware, the ratios are the "
                         "reproduction target");
-    const auto data = bench::dataset(/*short_range=*/true);
+    const auto data = bench::dataset(ctx, /*short_range=*/true);
     bench::print_summary(data, "short range", 1753, 97, 58, 89);
+    bench::record_summary(ctx, data);
     std::printf("\nPaper: 'Carrier sense approaches the optimal strategy "
                 "quite closely, consistent with theoretical predictions for "
                 "very good behavior in the short-range case.'\n");

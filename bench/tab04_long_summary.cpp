@@ -7,12 +7,14 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(tab04_long_summary,
+                "Table 4: long-range ensemble averages per strategy") {
     bench::print_header("Table 4 (S4.2) - long range ensemble averages",
                         "average throughput over all runs; ratios are the "
                         "reproduction target");
-    const auto data = bench::dataset(/*short_range=*/false);
+    const auto data = bench::dataset(ctx, /*short_range=*/false);
     bench::print_summary(data, "long range", 1029, 90, 73, 69);
+    bench::record_summary(ctx, data);
     std::printf("\nPaper: 'Although carrier sense in the long-range here is "
                 "not quite as close to optimal as it was in the short-range "
                 "..., it is still quite good overall and significantly "

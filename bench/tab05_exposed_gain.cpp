@@ -12,12 +12,14 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(tab05_exposed_gain,
+                "Table 5: exposed-terminal exploitation vs bitrate "
+                "adaptation") {
     bench::print_header("Table 5 (S5) - exposed terminals vs bitrate adaptation",
                         "short-range ensemble; 'exposed exploitation' = best "
                         "of CS / pure concurrency per run");
     const auto bed = testbed::make_default_testbed();
-    auto cfg = bench::bench_config(/*short_range=*/true);
+    auto cfg = bench::bench_config(ctx, /*short_range=*/true);
     const auto result = testbed::run_exposed_gain_experiment(bed, cfg);
 
     std::printf("\n%-44s %10s\n", "strategy", "pkt/s");
@@ -42,5 +44,10 @@ int main() {
     std::printf("\nPaper: 'unless nodes are widely separated or SNRs are "
                 "extremely low, adaptive bitrate is strictly more efficient' "
                 "than exploiting exposed terminals.\n");
+    ctx.metric("base_cs_pps", result.base_cs);
+    ctx.metric("adapted_cs_pps", result.adapted_cs);
+    ctx.metric("adaptation_gain", result.adaptation_gain());
+    ctx.metric("exposed_gain_base", result.exposed_gain_base());
+    ctx.metric("exposed_gain_adapted", result.exposed_gain_adapted());
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <string>
 
@@ -16,9 +17,11 @@
 
 namespace csense::bench {
 
-inline testbed::experiment_config bench_config(bool short_range) {
+inline testbed::experiment_config bench_config(const scenario_context& ctx,
+                                               bool short_range) {
     auto cfg = short_range ? testbed::short_range_config()
                            : testbed::long_range_config();
+    cfg.seed = ctx.seed;
     if (fast_mode()) {
         cfg.runs = 6;
         cfg.duration_s = 1.0;
@@ -31,7 +34,9 @@ inline testbed::experiment_config bench_config(bool short_range) {
 
 inline std::string cache_key(const testbed::experiment_config& cfg) {
     std::ostringstream key;
-    key << "v3_" << cfg.runs << "_" << cfg.duration_s << "_" << cfg.category_lo
+    // v4: cache TSVs switched to full round-trip precision; the bump
+    // keeps stale 6-digit caches from older checkouts from being loaded.
+    key << "v4_" << cfg.runs << "_" << cfg.duration_s << "_" << cfg.category_lo
         << "_" << cfg.category_hi << "_" << cfg.seed << "_"
         << cfg.rssi_strata_lo_db << "_" << cfg.rssi_strata_hi_db;
     return key.str();
@@ -45,8 +50,9 @@ inline std::filesystem::path cache_path(const testbed::experiment_config& cfg,
 }
 
 /// Run (or load) the ensemble for one category.
-inline testbed::experiment_result dataset(bool short_range) {
-    const auto cfg = bench_config(short_range);
+inline testbed::experiment_result dataset(const scenario_context& ctx,
+                                          bool short_range) {
+    const auto cfg = bench_config(ctx, short_range);
     const auto path = cache_path(cfg, short_range);
 
     testbed::experiment_result result;
@@ -62,11 +68,14 @@ inline testbed::experiment_result dataset(bool short_range) {
                 r.sender_rssi_db >> r.snr1_db >> r.snr2_db;
             if (row) result.runs.push_back(r);
         }
-        std::string tail;
+        bool have_meta = false;
         if (std::ifstream meta{path.string() + ".meta"}; meta) {
-            meta >> result.category_snr_db;
+            have_meta = static_cast<bool>(meta >> result.category_snr_db);
         }
-        if (result.runs.size() == static_cast<std::size_t>(cfg.runs)) {
+        // Both the run table and the .meta sidecar must load; a cache
+        // with a missing/corrupt sidecar is recomputed, not trusted.
+        if (have_meta &&
+            result.runs.size() == static_cast<std::size_t>(cfg.runs)) {
             for (const auto& r : result.runs) {
                 result.avg_mux += r.mux_pps;
                 result.avg_conc += r.conc_pps;
@@ -92,6 +101,10 @@ inline testbed::experiment_result dataset(bool short_range) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
     if (std::ofstream out{path}; out) {
+        // Full round-trip precision: a cached ensemble must reload to the
+        // exact doubles that were computed, or reruns would not be
+        // byte-identical (the bench determinism guarantee).
+        out << std::setprecision(17);
         out << "s1 r1 s2 r2 mux conc cs c1 c2 cs1 cs2 rssi snr1 snr2\n";
         for (const auto& r : result.runs) {
             out << r.pair1.sender << ' ' << r.pair1.receiver << ' '
@@ -102,9 +115,22 @@ inline testbed::experiment_result dataset(bool short_range) {
                 << r.snr1_db << ' ' << r.snr2_db << '\n';
         }
         std::ofstream meta{path.string() + ".meta"};
-        meta << result.category_snr_db << '\n';
+        meta << std::setprecision(17) << result.category_snr_db << '\n';
     }
     return result;
+}
+
+/// Record the ensemble averages as scenario metrics.
+inline void record_summary(scenario_context& ctx,
+                           const testbed::experiment_result& result) {
+    ctx.metric("runs", static_cast<std::int64_t>(result.runs.size()));
+    ctx.metric("avg_optimal_pps", result.avg_optimal);
+    ctx.metric("avg_cs_pps", result.avg_cs);
+    ctx.metric("avg_mux_pps", result.avg_mux);
+    ctx.metric("avg_conc_pps", result.avg_conc);
+    ctx.metric("cs_fraction", result.cs_fraction());
+    ctx.metric("mux_fraction", result.mux_fraction());
+    ctx.metric("conc_fraction", result.conc_fraction());
 }
 
 /// Print the §4 summary block (the Tables 3/4 format).

@@ -11,7 +11,9 @@
 
 using namespace csense;
 
-int main() {
+CSENSE_SCENARIO(x01_shadowing_example,
+                "S3.4 worked example: shadowing-induced carrier-sense "
+                "mistakes") {
     bench::print_header("S3.4 worked example - shadowing-induced CS mistakes",
                         "Rmax = 20, D_thresh = 40, interferer apparent at "
                         "D = 20, sigma = 8 dB");
@@ -30,6 +32,10 @@ int main() {
                 100.0 * outcome.fraction_vulnerable);
     std::printf("%-52s %6.1f%%   ~4%%\n", "P(very poor SNR configuration)",
                 100.0 * outcome.p_severe);
+    ctx.metric("p_spurious_concurrency", outcome.p_spurious_concurrency);
+    ctx.metric("fraction_vulnerable", outcome.fraction_vulnerable);
+    ctx.metric("p_severe", outcome.p_severe);
+    ctx.metric("snr_estimate_sigma_db", core::snr_estimate_sigma_db(params));
 
     std::printf("\nsupporting quantities:\n");
     std::printf("  sigma_SNRest = sigma*sqrt(3) = %.1f dB (paper: ~14 dB)\n",

@@ -1,0 +1,160 @@
+#include "src/report/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace csense::report {
+namespace {
+
+void append_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; emit null like most emitters do.
+        out += "null";
+        return;
+    }
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+void append_integer(std::string& out, std::int64_t v) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+void append_uinteger(std::string& out, std::uint64_t v) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+    if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * depth, ' ');
+    }
+}
+
+}  // namespace
+
+json_value json_value::array() {
+    json_value v;
+    v.kind_ = kind::array;
+    return v;
+}
+
+json_value json_value::object() {
+    json_value v;
+    v.kind_ = kind::object;
+    return v;
+}
+
+void json_value::push_back(json_value v) {
+    if (kind_ == kind::null) kind_ = kind::array;
+    if (kind_ != kind::array) {
+        throw std::logic_error("json_value::push_back on non-array");
+    }
+    elements_.push_back(std::move(v));
+}
+
+json_value& json_value::operator[](std::string_view key) {
+    if (kind_ == kind::null) kind_ = kind::object;
+    if (kind_ != kind::object) {
+        throw std::logic_error("json_value::operator[] on non-object");
+    }
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key) return values_[i];
+    }
+    keys_.emplace_back(key);
+    values_.emplace_back();
+    return values_.back();
+}
+
+std::size_t json_value::size() const noexcept {
+    if (kind_ == kind::array) return elements_.size();
+    if (kind_ == kind::object) return keys_.size();
+    return 0;
+}
+
+std::string json_value::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string json_value::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    if (indent > 0) out += '\n';
+    return out;
+}
+
+void json_value::dump_to(std::string& out, int indent, int depth) const {
+    switch (kind_) {
+        case kind::null: out += "null"; break;
+        case kind::boolean: out += bool_ ? "true" : "false"; break;
+        case kind::number: append_number(out, number_); break;
+        case kind::integer: append_integer(out, integer_); break;
+        case kind::uinteger: append_uinteger(out, uinteger_); break;
+        case kind::string: out += escape(string_); break;
+        case kind::array: {
+            if (elements_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < elements_.size(); ++i) {
+                if (i != 0) out += ',';
+                append_indent(out, indent, depth + 1);
+                elements_[i].dump_to(out, indent, depth + 1);
+            }
+            append_indent(out, indent, depth);
+            out += ']';
+            break;
+        }
+        case kind::object: {
+            if (keys_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < keys_.size(); ++i) {
+                if (i != 0) out += ',';
+                append_indent(out, indent, depth + 1);
+                out += escape(keys_[i]);
+                out += indent > 0 ? ": " : ":";
+                values_[i].dump_to(out, indent, depth + 1);
+            }
+            append_indent(out, indent, depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace csense::report

@@ -1,0 +1,74 @@
+// Minimal ordered JSON document builder for machine-readable bench and
+// report output. Insertion order of object keys is preserved and numbers
+// are rendered with shortest-round-trip formatting (std::to_chars), so a
+// document built from the same values serialises to the same bytes on
+// every run — a property the bench determinism test relies on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csense::report {
+
+/// One JSON value: null, bool, number, string, array or object.
+class json_value {
+public:
+    /// Constructs null.
+    json_value() = default;
+    json_value(bool b) : kind_(kind::boolean), bool_(b) {}
+    json_value(double v) : kind_(kind::number), number_(v) {}
+    json_value(int v) : kind_(kind::integer), integer_(v) {}
+    json_value(std::int64_t v) : kind_(kind::integer), integer_(v) {}
+    json_value(std::uint64_t v) : kind_(kind::uinteger), uinteger_(v) {}
+    json_value(std::string_view s) : kind_(kind::string), string_(s) {}
+    json_value(const char* s) : kind_(kind::string), string_(s) {}
+
+    static json_value array();
+    static json_value object();
+
+    bool is_null() const noexcept { return kind_ == kind::null; }
+    bool is_array() const noexcept { return kind_ == kind::array; }
+    bool is_object() const noexcept { return kind_ == kind::object; }
+
+    /// Appends to an array (a null value becomes an array first).
+    void push_back(json_value v);
+
+    /// Object lookup-or-insert, preserving insertion order (a null value
+    /// becomes an object first). The returned reference stays valid
+    /// across later inserts (children live in a std::deque).
+    json_value& operator[](std::string_view key);
+
+    /// Number of array elements or object entries.
+    std::size_t size() const noexcept;
+
+    /// Serialises the value. `indent` > 0 pretty-prints with that many
+    /// spaces per level; 0 emits the compact single-line form.
+    std::string dump(int indent = 2) const;
+
+    /// Escapes `s` as a JSON string literal, including the quotes.
+    static std::string escape(std::string_view s);
+
+private:
+    enum class kind {
+        null, boolean, number, integer, uinteger, string, array, object
+    };
+
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    kind kind_ = kind::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::int64_t integer_ = 0;
+    std::uint64_t uinteger_ = 0;
+    std::string string_;
+    // deque, not vector: push_back must not invalidate references that
+    // callers hold to earlier children.
+    std::deque<json_value> elements_;       // array
+    std::vector<std::string> keys_;         // object, parallel to values_
+    std::deque<json_value> values_;
+};
+
+}  // namespace csense::report

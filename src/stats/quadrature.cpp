@@ -98,8 +98,7 @@ const quadrature_rule& cached_rule(int n, bool hermite) {
     return it->second;
 }
 
-double simpson(const std::function<double(double)>& f, double a, double fa,
-               double b, double fb, double m, double fm) {
+double simpson(double a, double fa, double b, double fb, double fm) {
     return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
 }
 
@@ -110,8 +109,8 @@ double adaptive_step(const std::function<double(double)>& f, double a, double fa
     const double rm = 0.5 * (m + b);
     const double flm = f(lm);
     const double frm = f(rm);
-    const double left = simpson(f, a, fa, m, fm, lm, flm);
-    const double right = simpson(f, m, fm, b, fb, rm, frm);
+    const double left = simpson(a, fa, m, fm, flm);
+    const double right = simpson(m, fm, b, fb, frm);
     const double delta = left + right - whole;
     if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
         return left + right + delta / 15.0;
@@ -142,7 +141,7 @@ double integrate_adaptive(const std::function<double(double)>& f, double a,
                           double b, double tol, int max_depth) {
     const double m = 0.5 * (a + b);
     const double fa = f(a), fb = f(b), fm = f(m);
-    const double whole = simpson(f, a, fa, b, fb, m, fm);
+    const double whole = simpson(a, fa, b, fb, fm);
     return adaptive_step(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
 }
 

@@ -1,0 +1,95 @@
+// Determinism regression for the csense_bench runner: the same scenario
+// with the same --seed must produce byte-identical JSON (--no-timings
+// strips the only intentionally non-deterministic fields), and a
+// different seed must actually reach the stats/rng seeding path and move
+// the Monte Carlo metrics. fig05_cs_piecewise is used because its
+// "opt_at_3rmax_norm" metric carries the U-statistic Monte Carlo term.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int run_bench_in(const std::string& workdir, const std::string& filter,
+                 const std::string& json_path, unsigned seed) {
+    const std::string command =
+        "cd \"" + workdir + "\" && CSENSE_FAST=1 \"" + CSENSE_BENCH_BINARY +
+        "\" --filter " + filter + " --seed " + std::to_string(seed) +
+        " --no-timings --json \"" + json_path + "\" > /dev/null";
+    return std::system(command.c_str());
+}
+
+int run_bench(const std::string& json_path, unsigned seed) {
+    return run_bench_in(".", "fig05_cs_piecewise", json_path, seed);
+}
+
+TEST(BenchDeterminism, SameSeedByteIdenticalJson) {
+    const std::string dir = ::testing::TempDir();
+    const std::string a = dir + "csense_bench_det_a.json";
+    const std::string b = dir + "csense_bench_det_b.json";
+    ASSERT_EQ(run_bench(a, 1234), 0);
+    ASSERT_EQ(run_bench(b, 1234), 0);
+    const std::string json_a = read_file(a);
+    const std::string json_b = read_file(b);
+    ASSERT_FALSE(json_a.empty());
+    EXPECT_EQ(json_a, json_b)
+        << "same scenario + same seed must serialise identically";
+}
+
+TEST(BenchDeterminism, CacheRoundTripByteIdentical) {
+    // tab03 exercises bench::dataset(): the first run computes the
+    // ensemble and writes the TSV cache, the second reloads it. The JSON
+    // must not change across that compute-then-load boundary (guards the
+    // full-precision cache write and the .meta sidecar handling).
+    const std::filesystem::path work =
+        std::filesystem::path(::testing::TempDir()) / "csense_cache_rt";
+    std::filesystem::remove_all(work);
+    std::filesystem::create_directories(work);
+    const std::string a = (work / "cold.json").string();
+    const std::string b = (work / "cached.json").string();
+    ASSERT_EQ(run_bench_in(work.string(), "tab03_short_summary", a, 99), 0);
+    ASSERT_TRUE(std::filesystem::exists(work / "csense_bench_cache"))
+        << "expected the run to write an ensemble cache";
+    ASSERT_EQ(run_bench_in(work.string(), "tab03_short_summary", b, 99), 0);
+    const std::string json_a = read_file(a);
+    const std::string json_b = read_file(b);
+    ASSERT_FALSE(json_a.empty());
+    EXPECT_EQ(json_a, json_b)
+        << "cached reload must reproduce the computed run byte-for-byte";
+}
+
+TEST(BenchDeterminism, DifferentSeedChangesMonteCarloMetrics) {
+    const std::string dir = ::testing::TempDir();
+    const std::string a = dir + "csense_bench_det_s1.json";
+    const std::string b = dir + "csense_bench_det_s2.json";
+    ASSERT_EQ(run_bench(a, 1), 0);
+    ASSERT_EQ(run_bench(b, 2), 0);
+    std::string json_a = read_file(a);
+    std::string json_b = read_file(b);
+    ASSERT_FALSE(json_a.empty());
+    ASSERT_FALSE(json_b.empty());
+    // The documents differ in the "seed" field by construction; strip it
+    // so the comparison only sees scenario output.
+    const auto strip_seed = [](std::string& text) {
+        const auto pos = text.find("\"seed\"");
+        ASSERT_NE(pos, std::string::npos);
+        text.erase(pos, text.find('\n', pos) - pos);
+    };
+    strip_seed(json_a);
+    strip_seed(json_b);
+    EXPECT_NE(json_a, json_b)
+        << "--seed must reach the rng path and perturb Monte Carlo metrics";
+}
+
+}  // namespace
