@@ -27,13 +27,13 @@ CSENSE_SCENARIO(abl01_no_noise_floor,
     for (double rmax : {10.0, 20.0, 40.0, 80.0, 120.0}) {
         core::model_params with_noise;
         with_noise.sigma_db = 0.0;
-        core::expectation_engine engine_n(with_noise, quad, {20000, ctx.seed});
+        core::expectation_engine engine_n(with_noise, quad, {20000, ctx.seed, ctx.threads});
         const auto t_n = core::optimal_threshold(engine_n, rmax);
         const auto r_n = core::classify_with_threshold(with_noise, rmax, t_n);
 
         core::model_params no_noise = with_noise;
         no_noise.noise_db = -140.0;  // effectively gone at these ranges
-        core::expectation_engine engine_0(no_noise, quad, {20000, ctx.seed});
+        core::expectation_engine engine_0(no_noise, quad, {20000, ctx.seed, ctx.threads});
         const auto t_0 = core::optimal_threshold(engine_0, rmax);
         const auto r_0 = core::classify_with_threshold(no_noise, rmax, t_0);
 

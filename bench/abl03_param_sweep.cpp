@@ -34,7 +34,7 @@ CSENSE_SCENARIO(abl03_param_sweep,
             core::model_params params;
             params.alpha = alpha;
             params.sigma_db = sigma;
-            core::expectation_engine engine(params, quad, {samples, ctx.seed});
+            core::expectation_engine engine(params, quad, {samples, ctx.seed, ctx.threads});
             // Hold the *power-domain* quantities fixed across alpha: the
             // factory threshold P_thresh and the network's edge SNR.
             const double d_thresh = core::threshold_distance_from_power_db(

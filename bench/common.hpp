@@ -32,6 +32,7 @@ inline core::expectation_engine make_engine(const scenario_context& ctx,
     core::quadrature_options quad;
     core::mc_options mc;
     mc.seed = ctx.seed;
+    mc.threads = ctx.threads;
     if (fast_mode()) {
         quad.radial_nodes = 24;
         quad.angular_nodes = 32;

@@ -42,7 +42,7 @@ CSENSE_SCENARIO(fig07_optimal_threshold,
         quad.radial_nodes = bench::fast_mode() ? 20 : 32;
         quad.angular_nodes = bench::fast_mode() ? 24 : 40;
         quad.shadow_nodes = bench::fast_mode() ? 8 : 10;
-        core::expectation_engine engine(params, quad, {20000, ctx.seed});
+        core::expectation_engine engine(params, quad, {20000, ctx.seed, ctx.threads});
         report::series s{std::string("alpha ") + report::fmt(alpha, 1), {}, {},
                          marker};
         for (std::size_t i = 0; i < rmax_values.size(); ++i) {

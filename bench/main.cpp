@@ -6,6 +6,9 @@
 //   csense_bench                         run everything
 //   csense_bench --filter 'fig*'         run the figure scenarios
 //   csense_bench --seed 1234             base seed for all RNG
+//   csense_bench --threads 4             engine worker threads (0 = auto:
+//                                        CSENSE_THREADS env, else hardware;
+//                                        output is identical at any count)
 //   csense_bench --json out.json         machine-readable results/timings
 //   csense_bench --no-timings            omit wall-clock fields from the
 //                                        JSON (byte-identical reruns)
@@ -33,6 +36,7 @@ struct options {
     bool list = false;
     bool timings = true;
     std::uint64_t seed = 7;
+    int threads = 0;
     std::string filter = "*";
     std::string json_path;
 };
@@ -40,7 +44,8 @@ struct options {
 void print_usage(std::FILE* out) {
     std::fprintf(out,
                  "usage: csense_bench [--list] [--filter <glob>] "
-                 "[--seed <n>] [--json <path>] [--no-timings]\n");
+                 "[--seed <n>] [--threads <n>] [--json <path>] "
+                 "[--no-timings]\n");
 }
 
 bool parse_args(int argc, char** argv, options& opts) {
@@ -73,6 +78,20 @@ bool parse_args(int argc, char** argv, options& opts) {
                              "unsigned 64-bit integer)\n", v);
                 return false;
             }
+        } else if (arg == "--threads" || arg == "-t") {
+            const char* v = value("--threads");
+            if (v == nullptr) return false;
+            errno = 0;
+            char* end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || errno == ERANGE || n < 0 ||
+                n > 4096) {
+                std::fprintf(stderr,
+                             "csense_bench: bad --threads '%s' (need an "
+                             "integer in [0, 4096]; 0 = auto)\n", v);
+                return false;
+            }
+            opts.threads = static_cast<int>(n);
         } else if (arg == "--json" || arg == "-j") {
             const char* v = value("--json");
             if (v == nullptr) return false;
@@ -149,6 +168,7 @@ int main(int argc, char** argv) {
                     s.name.c_str());
         csense::bench::scenario_context ctx;
         ctx.seed = opts.seed;
+        ctx.threads = opts.threads;
         const auto start = clock::now();
         const int status = s.run(ctx);
         const double elapsed_ms =

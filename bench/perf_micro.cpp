@@ -49,6 +49,12 @@ void bm_disc_average(benchmark::State& state) {
 }
 BENCHMARK(bm_disc_average)->Arg(16)->Arg(32)->Arg(64)->Apply(tune);
 
+// The engine memoizes <C_conc> by (rmax, d), so concurrency benchmarks
+// move d every iteration to measure the integral, not the map lookup.
+// Monotone (never cycling back to a seen value): the quadrature cost is
+// independent of d, so the drift is free and the memo never hits.
+double next_d(double d) { return d + 0.25; }
+
 void bm_expected_concurrent_shadowed(benchmark::State& state) {
     core::model_params params;
     params.sigma_db = 8.0;
@@ -56,12 +62,60 @@ void bm_expected_concurrent_shadowed(benchmark::State& state) {
     quad.radial_nodes = 24;
     quad.angular_nodes = 32;
     quad.shadow_nodes = static_cast<int>(state.range(0));
-    core::expectation_engine engine(params, quad, {1000, 1});
+    // threads pinned to 1: this is a serial baseline comparable across
+    // machines and against the pre-parallel perf trajectory.
+    core::expectation_engine engine(params, quad, {1000, 1, 1});
+    double d = 55.0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(engine.expected_concurrent(55.0, 55.0));
+        benchmark::DoNotOptimize(engine.expected_concurrent(55.0, d));
+        d = next_d(d);
     }
 }
 BENCHMARK(bm_expected_concurrent_shadowed)->Arg(8)->Arg(16)->Apply(tune);
+
+void bm_expected_concurrent(benchmark::State& state) {
+    // The serial reference point for the thread-scaling runs below:
+    // default bench accuracy, one worker.
+    core::model_params params;
+    params.sigma_db = 8.0;
+    core::quadrature_options quad;
+    quad.radial_nodes = 40;
+    quad.angular_nodes = 48;
+    quad.shadow_nodes = 12;
+    core::mc_options mc{1000, 1, 1};
+    core::expectation_engine engine(params, quad, mc);
+    double d = 55.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.expected_concurrent(55.0, d));
+        d = next_d(d);
+    }
+}
+BENCHMARK(bm_expected_concurrent)->Apply(tune);
+
+void bm_expected_concurrent_threads(benchmark::State& state) {
+    // Deterministic parallel scaling of the disc quadrature: identical
+    // work at 1/2/4 workers (results are bit-identical; only the wall
+    // clock moves, hence UseRealTime).
+    core::model_params params;
+    params.sigma_db = 8.0;
+    core::quadrature_options quad;
+    quad.radial_nodes = 40;
+    quad.angular_nodes = 48;
+    quad.shadow_nodes = 12;
+    core::mc_options mc{1000, 1, static_cast<int>(state.range(0))};
+    core::expectation_engine engine(params, quad, mc);
+    double d = 55.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.expected_concurrent(55.0, d));
+        d = next_d(d);
+    }
+}
+BENCHMARK(bm_expected_concurrent_threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Apply(tune);
 
 void bm_expected_optimal(benchmark::State& state) {
     core::model_params params;
@@ -72,12 +126,36 @@ void bm_expected_optimal(benchmark::State& state) {
     quad.shadow_nodes = 8;
     core::mc_options mc;
     mc.samples = static_cast<std::size_t>(state.range(0));
+    mc.threads = 1;  // serial baseline; scaling measured below
     core::expectation_engine engine(params, quad, mc);
     for (auto _ : state) {
         benchmark::DoNotOptimize(engine.expected_optimal(55.0, 55.0));
     }
 }
 BENCHMARK(bm_expected_optimal)->Arg(10000)->Arg(100000)->Apply(tune);
+
+void bm_expected_optimal_threads(benchmark::State& state) {
+    // Scaling of the Monte Carlo delta sampling behind <C_max>.
+    core::model_params params;
+    params.sigma_db = 8.0;
+    core::quadrature_options quad;
+    quad.radial_nodes = 24;
+    quad.angular_nodes = 32;
+    quad.shadow_nodes = 8;
+    core::mc_options mc{100000, 1, static_cast<int>(state.range(0))};
+    core::expectation_engine engine(params, quad, mc);
+    double d = 55.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.expected_optimal(55.0, d));
+        d = next_d(d);
+    }
+}
+BENCHMARK(bm_expected_optimal_threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Apply(tune);
 
 void bm_rectified_pair_mean(benchmark::State& state) {
     stats::rng gen(7);

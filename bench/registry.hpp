@@ -21,6 +21,11 @@ struct scenario_context {
     /// component from this so a run is reproducible byte-for-byte.
     std::uint64_t seed = 7;
 
+    /// Worker threads for the expectation engines (--threads). 0 = auto
+    /// (CSENSE_THREADS env, else hardware concurrency). Never emitted
+    /// into metrics: output is bit-identical across thread counts.
+    int threads = 0;
+
     /// Headline numbers recorded by the scenario; emitted under
     /// "metrics" in the --json document, in insertion order.
     report::json_value metrics = report::json_value::object();

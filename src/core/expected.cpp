@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/geometry.hpp"
+#include "src/core/parallel.hpp"
 #include "src/core/policies.hpp"
 #include "src/stats/distributions.hpp"
 #include "src/stats/quadrature.hpp"
@@ -17,101 +22,190 @@ void require_positive(double value, const char* what) {
     if (!(value > 0.0)) throw std::domain_error(what);
 }
 
+/// MC sample indices per scheduled chunk in sample_deltas. Fixed (never
+/// derived from the thread count) so the delta vector is placed
+/// identically for every worker count.
+constexpr std::size_t kDeltaGrain = 2048;
+
+/// E over one shadowing axis of kernel(ls), replicating
+/// stats::normal_expectation's arithmetic exactly: sum of weight * value
+/// in node order, then one division by sqrt(pi).
+template <class Kernel>
+double shadow_average_1(const std::vector<double>& factors,
+                        const std::vector<double>& weights, Kernel&& kernel) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+        sum += weights[i] * kernel(factors[i]);
+    }
+    return sum / std::sqrt(std::numbers::pi);
+}
+
+/// E over the two independent shadowing axes (signal, interference) of
+/// kernel(ls, li); bit-identical to the nested normal_expectation pair it
+/// replaces.
+template <class Kernel>
+double shadow_average_2(const std::vector<double>& factors,
+                        const std::vector<double>& weights, Kernel&& kernel) {
+    double outer = 0.0;
+    for (std::size_t s = 0; s < factors.size(); ++s) {
+        const double ls = factors[s];
+        double inner = 0.0;
+        for (std::size_t i = 0; i < factors.size(); ++i) {
+            inner += weights[i] * kernel(ls, factors[i]);
+        }
+        outer += weights[s] * (inner / std::sqrt(std::numbers::pi));
+    }
+    return outer / std::sqrt(std::numbers::pi);
+}
+
 }  // namespace
+
+/// Per-engine cache of the deterministic integrals that threshold sweeps
+/// re-request: <C_single>(rmax) and <C_conc>(rmax, d). Shared between
+/// engine copies; keyed by the exact argument bits.
+struct expectation_memo {
+    std::mutex mutex;
+    std::map<double, double> single_by_rmax;
+    std::map<std::pair<double, double>, double> concurrent_by_rmax_d;
+};
 
 expectation_engine::expectation_engine(model_params params,
                                        quadrature_options quad, mc_options mc)
-    : params_(params), quad_(quad), mc_(mc) {
+    : params_(params),
+      quad_(quad),
+      mc_(mc),
+      memo_(std::make_shared<expectation_memo>()) {
     params_.validate();
     quad_.validate();
     if (mc_.samples < 16) {
         throw std::invalid_argument("mc_options: need at least 16 samples");
     }
+    if (mc_.threads < 0) {
+        throw std::invalid_argument("mc_options: negative thread count");
+    }
+    // Hoist the rule lookups out of every integral: the radial rule is
+    // reference-stable in the global cache, and the shadowing axis is
+    // flattened to (linear factor, weight) arrays up front.
+    radial_rule_ = &stats::gauss_legendre(quad_.radial_nodes);
+    if (!params_.deterministic()) {
+        const auto& rule = stats::gauss_hermite(quad_.shadow_nodes);
+        const stats::lognormal_shadowing shadow(params_.sigma_db);
+        shadow_weights_ = rule.weights;
+        shadow_factors_.resize(rule.nodes.size());
+        for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+            shadow_factors_[i] =
+                shadow.from_standard_normal(std::numbers::sqrt2 * rule.nodes[i]);
+        }
+    }
+}
+
+/// (2 / rmax^2) Int_0^rmax value_at(r) r dr over the radial rule, with
+/// one parallel task per radial node; partials combine in node order, so
+/// the result matches the serial loop bit-for-bit at any thread count.
+template <class RadialFn>
+double expectation_engine::radial_reduce(double rmax,
+                                         RadialFn&& value_at) const {
+    const auto& rule = *radial_rule_;
+    const double sum = parallel_reduce(
+        mc_.threads, static_cast<std::size_t>(quad_.radial_nodes),
+        [&](std::size_t i) {
+            const double r = 0.5 * rmax * (rule.nodes[i] + 1.0);
+            const double wr = 0.5 * rmax * rule.weights[i];
+            return wr * r * value_at(r);
+        });
+    return 2.0 * sum / (rmax * rmax);
+}
+
+/// Disc average of point(r, theta) (Gauss-Legendre radially, periodic
+/// rectangle rule in angle), parallelized over radial rows. Each row's
+/// angular ring accumulates serially in index order and rows combine in
+/// radial order: bit-identical to stats::disc_average for every thread
+/// count.
+template <class PointFn>
+double expectation_engine::disc_reduce(double rmax, PointFn&& point) const {
+    const auto& rule = *radial_rule_;
+    const int ntheta = quad_.angular_nodes;
+    const double dtheta = 2.0 * std::numbers::pi / ntheta;
+    const double sum = parallel_reduce(
+        mc_.threads, static_cast<std::size_t>(quad_.radial_nodes),
+        [&](std::size_t i) {
+            const double r = 0.5 * rmax * (rule.nodes[i] + 1.0);
+            const double wr = 0.5 * rmax * rule.weights[i];
+            double ring = 0.0;
+            for (int j = 0; j < ntheta; ++j) {
+                const double theta = dtheta * (j + 0.5);
+                ring += point(r, theta);
+            }
+            return wr * r * ring * dtheta;
+        });
+    const double area = std::numbers::pi * rmax * rmax;
+    return sum / area;
 }
 
 double expectation_engine::expected_single(double rmax) const {
     require_positive(rmax, "expected_single: rmax");
+    {
+        std::scoped_lock lock(memo_->mutex);
+        const auto it = memo_->single_by_rmax.find(rmax);
+        if (it != memo_->single_by_rmax.end()) return it->second;
+    }
     // C_single is independent of theta: reduce to a radial integral
     // (2 / Rmax^2) Int_0^Rmax E_L[C_single(r, L)] r dr.
-    const auto& rule = stats::gauss_legendre(quad_.radial_nodes);
-    const stats::lognormal_shadowing shadow(params_.sigma_db);
-    double sum = 0.0;
-    for (int i = 0; i < quad_.radial_nodes; ++i) {
-        const double r = 0.5 * rmax * (rule.nodes[i] + 1.0);
-        const double wr = 0.5 * rmax * rule.weights[i];
-        double value;
+    const double value = radial_reduce(rmax, [&](double r) {
         if (params_.deterministic()) {
-            value = capacity_single(params_, r);
-        } else {
-            value = stats::normal_expectation(
-                [&](double z) {
-                    return capacity_single(params_, r,
-                                           shadow.from_standard_normal(z));
-                },
-                quad_.shadow_nodes);
+            return capacity_single(params_, r);
         }
-        sum += wr * r * value;
-    }
-    return 2.0 * sum / (rmax * rmax);
+        return shadow_average_1(
+            shadow_factors_, shadow_weights_,
+            [&](double ls) { return capacity_single(params_, r, ls); });
+    });
+    std::scoped_lock lock(memo_->mutex);
+    memo_->single_by_rmax.emplace(rmax, value);
+    return value;
 }
 
 double expectation_engine::expected_multiplexing(double rmax) const {
     return 0.5 * expected_single(rmax);
 }
 
-double expectation_engine::shadow_average_concurrent(double, double r,
-                                                     double theta,
-                                                     double d) const {
-    if (params_.deterministic()) {
-        return capacity_concurrent(params_, r, theta, d);
-    }
-    const stats::lognormal_shadowing shadow(params_.sigma_db);
-    // E over the two independent shadowing axes (signal, interference).
-    return stats::normal_expectation(
-        [&](double zs) {
-            const double ls = shadow.from_standard_normal(zs);
-            return stats::normal_expectation(
-                [&](double zi) {
-                    const double li = shadow.from_standard_normal(zi);
-                    return capacity_concurrent(params_, r, theta, d, ls, li);
-                },
-                quad_.shadow_nodes);
-        },
-        quad_.shadow_nodes);
-}
-
 double expectation_engine::expected_concurrent(double rmax, double d) const {
     require_positive(rmax, "expected_concurrent: rmax");
     if (d < 0.0) throw std::domain_error("expected_concurrent: d");
-    return stats::disc_average(
-        [&](double r, double theta) {
-            return shadow_average_concurrent(rmax, r, theta, d);
-        },
-        rmax, quad_.radial_nodes, quad_.angular_nodes);
+    const std::pair<double, double> key{rmax, d};
+    {
+        std::scoped_lock lock(memo_->mutex);
+        const auto it = memo_->concurrent_by_rmax_d.find(key);
+        if (it != memo_->concurrent_by_rmax_d.end()) return it->second;
+    }
+    const double value = disc_reduce(rmax, [&](double r, double theta) {
+        if (params_.deterministic()) {
+            return capacity_concurrent(params_, r, theta, d);
+        }
+        return shadow_average_2(shadow_factors_, shadow_weights_,
+                                [&](double ls, double li) {
+                                    return capacity_concurrent(params_, r,
+                                                               theta, d, ls,
+                                                               li);
+                                });
+    });
+    std::scoped_lock lock(memo_->mutex);
+    memo_->concurrent_by_rmax_d.emplace(key, value);
+    return value;
 }
 
 double expectation_engine::expected_upper_bound(double rmax, double d) const {
     require_positive(rmax, "expected_upper_bound: rmax");
-    const stats::lognormal_shadowing shadow(params_.sigma_db);
-    return stats::disc_average(
-        [&](double r, double theta) {
-            if (params_.deterministic()) {
-                return capacity_upper_bound(params_, r, theta, d);
-            }
-            return stats::normal_expectation(
-                [&](double zs) {
-                    const double ls = shadow.from_standard_normal(zs);
-                    return stats::normal_expectation(
-                        [&](double zi) {
-                            const double li = shadow.from_standard_normal(zi);
-                            return capacity_upper_bound(params_, r, theta, d,
-                                                        ls, li);
-                        },
-                        quad_.shadow_nodes);
-                },
-                quad_.shadow_nodes);
-        },
-        rmax, quad_.radial_nodes, quad_.angular_nodes);
+    return disc_reduce(rmax, [&](double r, double theta) {
+        if (params_.deterministic()) {
+            return capacity_upper_bound(params_, r, theta, d);
+        }
+        return shadow_average_2(shadow_factors_, shadow_weights_,
+                                [&](double ls, double li) {
+                                    return capacity_upper_bound(params_, r,
+                                                                theta, d, ls,
+                                                                li);
+                                });
+    });
 }
 
 double expectation_engine::defer_probability(double d, double d_thresh) const {
@@ -138,25 +232,32 @@ double expectation_engine::expected_carrier_sense(double rmax, double d,
 std::vector<double> expectation_engine::sample_deltas(double rmax, double d,
                                                       std::size_t count) const {
     require_positive(rmax, "sample_deltas: rmax");
-    std::vector<double> deltas;
-    deltas.reserve(count);
+    std::vector<double> deltas(count);
     const stats::lognormal_shadowing shadow(params_.sigma_db);
-    stats::rng base(mc_.seed);
+    const stats::rng base(mc_.seed);
+    const bool deterministic = params_.deterministic();
     // One derived stream per sample index: common random numbers across
-    // calls with different (rmax, d) but the same seed.
-    for (std::size_t i = 0; i < count; ++i) {
-        stats::rng gen = base.split(static_cast<std::uint64_t>(i));
-        const auto point = stats::sample_uniform_disc(gen, rmax);
-        double ls = 1.0, li = 1.0;
-        if (!params_.deterministic()) {
-            ls = shadow.sample(gen);
-            li = shadow.sample(gen);
-        }
-        const double conc =
-            capacity_concurrent(params_, point.r, point.theta, d, ls, li);
-        const double mux = capacity_multiplexing(params_, point.r, ls);
-        deltas.push_back(conc - mux);
-    }
+    // calls with different (rmax, d) but the same seed, and a delta
+    // vector independent of how samples land on workers.
+    parallel_for(mc_.threads, count, kDeltaGrain,
+                 [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                         stats::rng gen =
+                             base.split(static_cast<std::uint64_t>(i));
+                         const auto point =
+                             stats::sample_uniform_disc(gen, rmax);
+                         double ls = 1.0, li = 1.0;
+                         if (!deterministic) {
+                             ls = shadow.sample(gen);
+                             li = shadow.sample(gen);
+                         }
+                         const double conc = capacity_concurrent(
+                             params_, point.r, point.theta, d, ls, li);
+                         const double mux =
+                             capacity_multiplexing(params_, point.r, ls);
+                         deltas[i] = conc - mux;
+                     }
+                 });
     return deltas;
 }
 
@@ -216,53 +317,28 @@ double expectation_engine::normalization() const {
 double expectation_engine::expected_multiplexing_fixed_rate(
     double rmax, double rate_bits_per_hz) const {
     require_positive(rmax, "expected_multiplexing_fixed_rate: rmax");
-    const stats::lognormal_shadowing shadow(params_.sigma_db);
-    const auto& rule = stats::gauss_legendre(quad_.radial_nodes);
-    double sum = 0.0;
-    for (int i = 0; i < quad_.radial_nodes; ++i) {
-        const double r = 0.5 * rmax * (rule.nodes[i] + 1.0);
-        const double wr = 0.5 * rmax * rule.weights[i];
+    return radial_reduce(rmax, [&](double r) {
         auto value_at = [&](double ls) {
             return 0.5 * capacity_fixed_rate(snr_single(params_, r, ls),
                                              rate_bits_per_hz);
         };
-        double value;
-        if (params_.deterministic()) {
-            value = value_at(1.0);
-        } else {
-            value = stats::normal_expectation(
-                [&](double z) { return value_at(shadow.from_standard_normal(z)); },
-                quad_.shadow_nodes);
-        }
-        sum += wr * r * value;
-    }
-    return 2.0 * sum / (rmax * rmax);
+        if (params_.deterministic()) return value_at(1.0);
+        return shadow_average_1(shadow_factors_, shadow_weights_, value_at);
+    });
 }
 
 double expectation_engine::expected_concurrent_fixed_rate(
     double rmax, double d, double rate_bits_per_hz) const {
     require_positive(rmax, "expected_concurrent_fixed_rate: rmax");
-    const stats::lognormal_shadowing shadow(params_.sigma_db);
-    return stats::disc_average(
-        [&](double r, double theta) {
-            auto value_at = [&](double ls, double li) {
-                return capacity_fixed_rate(
-                    sinr_concurrent(params_, r, theta, d, ls, li),
-                    rate_bits_per_hz);
-            };
-            if (params_.deterministic()) return value_at(1.0, 1.0);
-            return stats::normal_expectation(
-                [&](double zs) {
-                    const double ls = shadow.from_standard_normal(zs);
-                    return stats::normal_expectation(
-                        [&](double zi) {
-                            return value_at(ls, shadow.from_standard_normal(zi));
-                        },
-                        quad_.shadow_nodes);
-                },
-                quad_.shadow_nodes);
-        },
-        rmax, quad_.radial_nodes, quad_.angular_nodes);
+    return disc_reduce(rmax, [&](double r, double theta) {
+        auto value_at = [&](double ls, double li) {
+            return capacity_fixed_rate(
+                sinr_concurrent(params_, r, theta, d, ls, li),
+                rate_bits_per_hz);
+        };
+        if (params_.deterministic()) return value_at(1.0, 1.0);
+        return shadow_average_2(shadow_factors_, shadow_weights_, value_at);
+    });
 }
 
 }  // namespace csense::core

@@ -50,10 +50,15 @@ struct quadrature_options {
     }
 };
 
-/// Monte Carlo knobs for the joint optimal-MAC expectation.
+/// Monte Carlo and execution knobs for the expectation engine.
 struct mc_options {
     std::size_t samples = 100'000;  ///< per-pair samples for the U-statistic
     std::uint64_t seed = 42;        ///< base seed (common random numbers)
+
+    /// Worker threads for quadrature and delta sampling. 0 = auto
+    /// (CSENSE_THREADS env, else hardware concurrency). Results are
+    /// bit-identical for every value (see src/core/parallel.hpp).
+    int threads = 0;
 };
 
 }  // namespace csense::core

@@ -1,0 +1,214 @@
+#include "src/core/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace csense::core {
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+// True while this thread is the caller of an in-flight thread_pool::run:
+// a nested run from one of the caller's own chunks must degrade to
+// serial exactly like one from a pool worker (the pool hosts a single
+// job, and the caller already holds the job slot).
+thread_local bool tls_in_run = false;
+
+int hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace
+
+int resolve_threads(int requested) {
+    if (requested < 0) {
+        throw std::invalid_argument("resolve_threads: negative thread count");
+    }
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("CSENSE_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return n;
+    }
+    return hardware_threads();
+}
+
+struct thread_pool::impl {
+    struct job {
+        const std::function<void(std::size_t)>* task = nullptr;
+        std::size_t count = 0;
+        int max_participants = 0;
+        std::atomic<std::size_t> cursor{0};
+        std::atomic<int> participants{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+        // Workers (not the caller) still inside execute(); the caller
+        // waits for this to reach zero before the job leaves scope.
+        int active_workers = 0;
+    };
+
+    // Serializes whole run() calls from distinct caller threads: the
+    // pool hosts one job at a time.
+    std::mutex caller_mutex;
+    /// Hard cap on pool threads; requests beyond it still complete, just
+    /// with at most this many workers plus the caller.
+    static constexpr int kMaxWorkers = 64;
+
+    std::mutex mutex;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    std::vector<std::thread> workers;
+    job* current = nullptr;
+    std::uint64_t generation = 0;
+    bool stopping = false;
+
+    /// Grow the pool to at least `wanted` workers (called with
+    /// caller_mutex held; worker threads are never removed). Lazy growth
+    /// means a machine only pays for the parallelism actually requested,
+    /// and explicit --threads N requests are honoured even when N
+    /// exceeds the hardware concurrency (useful for determinism tests on
+    /// small CI runners).
+    void ensure_workers(int wanted) {
+        wanted = wanted < kMaxWorkers ? wanted : kMaxWorkers;
+        std::scoped_lock lock(mutex);
+        while (static_cast<int>(workers.size()) < wanted) {
+            workers.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    static void execute(job& j) {
+        while (true) {
+            const std::size_t i =
+                j.cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= j.count) break;
+            if (j.failed.load(std::memory_order_relaxed)) continue;
+            try {
+                (*j.task)(i);
+            } catch (...) {
+                std::scoped_lock lock(j.error_mutex);
+                if (!j.error) j.error = std::current_exception();
+                j.failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    void worker_loop() {
+        tls_on_worker = true;
+        std::unique_lock lock(mutex);
+        std::uint64_t seen = 0;
+        while (true) {
+            work_cv.wait(lock, [&] {
+                return stopping || (current != nullptr && generation != seen);
+            });
+            if (stopping) return;
+            seen = generation;
+            job& j = *current;
+            if (j.participants.fetch_add(1) + 1 > j.max_participants) {
+                // Enough hands on this job already (the caller is one).
+                j.participants.fetch_sub(1);
+                continue;
+            }
+            ++j.active_workers;
+            lock.unlock();
+            execute(j);
+            lock.lock();
+            if (--j.active_workers == 0) done_cv.notify_all();
+        }
+    }
+};
+
+thread_pool::thread_pool() : impl_(new impl) {
+    // Workers are spawned lazily by run(); constructing the pool is free.
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::scoped_lock lock(impl_->mutex);
+        impl_->stopping = true;
+    }
+    impl_->work_cv.notify_all();
+    for (auto& w : impl_->workers) w.join();
+    delete impl_;
+}
+
+thread_pool& thread_pool::instance() {
+    // Leaked on purpose: scenario code may still be running tasks during
+    // static destruction, and the OS reclaims the threads anyway.
+    static thread_pool* pool = new thread_pool;
+    return *pool;
+}
+
+bool thread_pool::on_worker_thread() noexcept { return tls_on_worker; }
+
+void thread_pool::run(int threads, std::size_t count,
+                      const std::function<void(std::size_t)>& task) {
+    if (count == 0) return;
+    if (threads < 1) {
+        throw std::invalid_argument("thread_pool::run: threads must be >= 1");
+    }
+    if (threads == 1 || count == 1 || tls_on_worker || tls_in_run) {
+        // Serial path: nested calls and single-threaded requests.
+        // Exceptions propagate directly.
+        for (std::size_t i = 0; i < count; ++i) task(i);
+        return;
+    }
+
+    std::scoped_lock serialize(impl_->caller_mutex);
+    tls_in_run = true;
+    struct reset_in_run {
+        ~reset_in_run() { tls_in_run = false; }
+    } reset;
+    impl_->ensure_workers(threads - 1);
+    impl::job j;
+    j.task = &task;
+    j.count = count;
+    j.max_participants = threads;
+    j.participants.store(1);  // the caller participates too
+    {
+        std::scoped_lock lock(impl_->mutex);
+        impl_->current = &j;
+        ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+    impl::execute(j);
+    {
+        std::unique_lock lock(impl_->mutex);
+        impl_->done_cv.wait(lock, [&] { return j.active_workers == 0; });
+        impl_->current = nullptr;
+    }
+    if (j.error) std::rethrow_exception(j.error);
+}
+
+void parallel_for(int threads, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+    if (count == 0) return;
+    if (grain == 0) throw std::invalid_argument("parallel_for: grain == 0");
+    const std::size_t chunks = (count + grain - 1) / grain;
+    thread_pool::instance().run(
+        resolve_threads(threads), chunks, [&](std::size_t c) {
+            const std::size_t begin = c * grain;
+            const std::size_t end =
+                begin + grain < count ? begin + grain : count;
+            body(begin, end);
+        });
+}
+
+double parallel_reduce(int threads, std::size_t count,
+                       const std::function<double(std::size_t)>& term) {
+    if (count == 0) return 0.0;
+    std::vector<double> partials(count, 0.0);
+    thread_pool::instance().run(resolve_threads(threads), count,
+                                [&](std::size_t i) { partials[i] = term(i); });
+    double sum = 0.0;
+    for (double p : partials) sum += p;
+    return sum;
+}
+
+}  // namespace csense::core

@@ -1,0 +1,74 @@
+// Deterministic parallel runtime for the expectation engine.
+//
+// The design constraint is bit-identical results for ANY worker count:
+// work is split into chunks whose boundaries depend only on the problem
+// size (never on the thread count), each chunk's partial result is stored
+// by chunk index, and partials are combined in index order on the calling
+// thread. Chunks are *claimed* dynamically (an atomic cursor), so load
+// balancing is free, but the combination order is fixed. With one term
+// per partial, `parallel_reduce` reproduces the serial left-fold
+// `((t0 + t1) + t2) + ...` exactly, so a parallel engine run is
+// bit-identical to the pre-parallel serial code.
+//
+// Workers live in a lazily-created process-wide pool (hardware
+// concurrency sized); `threads` caps how many participate in one call.
+// Nested calls from inside a worker degrade to serial execution on the
+// calling thread, so the engine may parallelize freely at any level
+// without deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace csense::core {
+
+/// Resolve a requested worker count: `requested > 0` is used as-is;
+/// `requested == 0` means the CSENSE_THREADS environment variable when
+/// set to a positive integer, otherwise std::thread::hardware_concurrency
+/// (at least 1).
+int resolve_threads(int requested);
+
+/// Process-wide worker pool. `run` executes task(0..count-1), blocking
+/// until every index has finished; at most `threads` threads participate
+/// (the calling thread counts as one). The first exception thrown by any
+/// task is rethrown on the calling thread after remaining tasks are
+/// drained (tasks not yet started are skipped once a failure is seen).
+/// Tasks must write to index-distinct locations; the pool imposes no
+/// ordering between them.
+class thread_pool {
+public:
+    static thread_pool& instance();
+
+    void run(int threads, std::size_t count,
+             const std::function<void(std::size_t)>& task);
+
+    /// True when the calling thread is a pool worker (nested `run` calls
+    /// then execute serially).
+    static bool on_worker_thread() noexcept;
+
+private:
+    thread_pool();
+    ~thread_pool();
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    struct impl;
+    impl* impl_;
+};
+
+/// Invoke body(begin, end) over a partition of [0, count) into chunks of
+/// `grain` indices (the last chunk may be short). Chunk boundaries depend
+/// only on (count, grain), never on `threads`, so any side effects keyed
+/// by index are placed identically for every worker count.
+void parallel_for(int threads, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Deterministic sum reduction: returns term(0) + term(1) + ... +
+/// term(count - 1), accumulated in index order with one partial per
+/// index. Bit-identical to the serial left fold for every thread count.
+/// Terms should be coarse (an engine radial row, not a single kernel
+/// evaluation) since each is one scheduled task.
+double parallel_reduce(int threads, std::size_t count,
+                       const std::function<double(std::size_t)>& term);
+
+}  // namespace csense::core

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <numbers>
+#include <shared_mutex>
 #include <stdexcept>
 
 namespace csense::stats {
@@ -88,10 +89,20 @@ quadrature_rule compute_gauss_hermite(int n) {
 }
 
 const quadrature_rule& cached_rule(int n, bool hermite) {
-    static std::mutex mutex;
+    // Reader/writer cache: after a rule's first computation every lookup
+    // takes only the shared lock, so concurrent engine workers never
+    // serialize here. std::map references are stable across inserts, so
+    // handing out references under the shared lock is safe.
+    static std::shared_mutex mutex;
     static std::map<std::pair<int, bool>, quadrature_rule> cache;
-    std::scoped_lock lock(mutex);
-    auto [it, inserted] = cache.try_emplace({n, hermite});
+    const std::pair<int, bool> key{n, hermite};
+    {
+        std::shared_lock lock(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end()) return it->second;
+    }
+    std::unique_lock lock(mutex);
+    auto [it, inserted] = cache.try_emplace(key);
     if (inserted) {
         it->second = hermite ? compute_gauss_hermite(n) : compute_gauss_legendre(n);
     }

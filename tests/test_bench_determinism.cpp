@@ -22,11 +22,14 @@ std::string read_file(const std::string& path) {
 }
 
 int run_bench_in(const std::string& workdir, const std::string& filter,
-                 const std::string& json_path, unsigned seed) {
-    const std::string command =
+                 const std::string& json_path, unsigned seed,
+                 int threads = 0) {
+    std::string command =
         "cd \"" + workdir + "\" && CSENSE_FAST=1 \"" + CSENSE_BENCH_BINARY +
         "\" --filter " + filter + " --seed " + std::to_string(seed) +
-        " --no-timings --json \"" + json_path + "\" > /dev/null";
+        " --no-timings --json \"" + json_path + "\"";
+    if (threads > 0) command += " --threads " + std::to_string(threads);
+    command += " > /dev/null";
     return std::system(command.c_str());
 }
 
@@ -67,6 +70,37 @@ TEST(BenchDeterminism, CacheRoundTripByteIdentical) {
     ASSERT_FALSE(json_a.empty());
     EXPECT_EQ(json_a, json_b)
         << "cached reload must reproduce the computed run byte-for-byte";
+}
+
+TEST(BenchDeterminism, ThreadCountInvariantJson) {
+    // The deterministic parallel engine (src/core/parallel.hpp) must
+    // make --threads purely a wall-clock knob: 1 vs 4 workers produce
+    // byte-identical JSON. fig07 drives the quadrature + threshold-sweep
+    // hot path end to end; fig05 adds the Monte Carlo U-statistic term.
+    for (const char* filter : {"fig07_optimal_threshold",
+                               "fig05_cs_piecewise"}) {
+        // Fresh working directory per run so cwd-relative scenario
+        // artifacts (the testbed cache) can never leak state from the
+        // 1-thread run into the 4-thread run and mask a divergence.
+        const std::filesystem::path base =
+            std::filesystem::path(::testing::TempDir()) /
+            (std::string("csense_threads_") + filter);
+        std::filesystem::remove_all(base);
+        const auto work1 = base / "t1";
+        const auto work4 = base / "t4";
+        std::filesystem::create_directories(work1);
+        std::filesystem::create_directories(work4);
+        const std::string t1 = (base / "t1.json").string();
+        const std::string t4 = (base / "t4.json").string();
+        ASSERT_EQ(run_bench_in(work1.string(), filter, t1, 1, /*threads=*/1),
+                  0);
+        ASSERT_EQ(run_bench_in(work4.string(), filter, t4, 1, /*threads=*/4),
+                  0);
+        const std::string json_t1 = read_file(t1);
+        ASSERT_FALSE(json_t1.empty());
+        EXPECT_EQ(json_t1, read_file(t4))
+            << filter << ": --threads must never change the output";
+    }
 }
 
 TEST(BenchDeterminism, DifferentSeedChangesMonteCarloMetrics) {

@@ -245,6 +245,82 @@ TEST(Expected, FixedRateVariantsBehave) {
     EXPECT_LE(far, rate + 1e-12);
 }
 
+TEST(Expected, MemoizedIntegralsMatchDirectComputation) {
+    // expected_carrier_sense memoizes <C_single>(rmax) and
+    // <C_conc>(rmax, d) across a threshold sweep; every memo hit must
+    // return exactly what a fresh engine computes from scratch.
+    const auto warm = make_engine(8.0);
+    const double rmax = 40.0, d = 55.0;
+    std::vector<double> swept;
+    for (double d_thresh : {20.0, 40.0, 55.0, 80.0, 120.0}) {
+        swept.push_back(warm.expected_carrier_sense(rmax, d, d_thresh));
+    }
+    for (std::size_t i = 0; i < swept.size(); ++i) {
+        const auto fresh = make_engine(8.0);
+        const double d_thresh = std::vector<double>{20.0, 40.0, 55.0, 80.0,
+                                                    120.0}[i];
+        EXPECT_EQ(swept[i], fresh.expected_carrier_sense(rmax, d, d_thresh))
+            << "d_thresh " << d_thresh;
+    }
+    // The memoized quantities themselves.
+    const auto fresh = make_engine(8.0);
+    EXPECT_EQ(warm.expected_single(rmax), fresh.expected_single(rmax));
+    EXPECT_EQ(warm.expected_concurrent(rmax, d),
+              fresh.expected_concurrent(rmax, d));
+}
+
+TEST(Expected, CopiesShareTheMemoConsistently) {
+    const auto engine = make_engine(8.0);
+    const double direct = engine.expected_single(40.0);
+    const expectation_engine copy = engine;  // shares the memo
+    EXPECT_EQ(copy.expected_single(40.0), direct);
+    EXPECT_EQ(copy.expected_concurrent(40.0, 55.0),
+              engine.expected_concurrent(40.0, 55.0));
+}
+
+expectation_engine make_threaded_engine(double sigma, int threads) {
+    model_params p;
+    p.alpha = 3.0;
+    p.sigma_db = sigma;
+    p.noise_db = -65.0;
+    quadrature_options q;
+    q.radial_nodes = 20;
+    q.angular_nodes = 24;
+    q.shadow_nodes = 8;
+    mc_options mc;
+    mc.samples = 5000;
+    mc.threads = threads;
+    return expectation_engine(p, q, mc);
+}
+
+TEST(Expected, ThreadCountInvariance) {
+    // The core determinism guarantee: every engine quantity is
+    // bit-identical no matter how many workers computed it.
+    const auto serial = make_threaded_engine(8.0, 1);
+    for (int threads : {2, 4}) {
+        const auto parallel = make_threaded_engine(8.0, threads);
+        EXPECT_EQ(parallel.expected_single(40.0),
+                  serial.expected_single(40.0))
+            << threads;
+        EXPECT_EQ(parallel.expected_concurrent(40.0, 55.0),
+                  serial.expected_concurrent(40.0, 55.0))
+            << threads;
+        EXPECT_EQ(parallel.expected_upper_bound(40.0, 55.0),
+                  serial.expected_upper_bound(40.0, 55.0))
+            << threads;
+        EXPECT_EQ(parallel.expected_concurrent_fixed_rate(40.0, 55.0, 3.0),
+                  serial.expected_concurrent_fixed_rate(40.0, 55.0, 3.0))
+            << threads;
+        EXPECT_EQ(parallel.sample_deltas(40.0, 55.0, 5000),
+                  serial.sample_deltas(40.0, 55.0, 5000))
+            << threads;
+        const auto opt_p = parallel.expected_optimal(40.0, 55.0);
+        const auto opt_s = serial.expected_optimal(40.0, 55.0);
+        EXPECT_EQ(opt_p.mean, opt_s.mean) << threads;
+        EXPECT_EQ(opt_p.stderr_mean, opt_s.stderr_mean) << threads;
+    }
+}
+
 TEST(Expected, InputValidation) {
     const auto engine = make_engine();
     EXPECT_THROW(engine.expected_single(0.0), std::domain_error);
@@ -256,6 +332,10 @@ TEST(Expected, InputValidation) {
     mc_options tiny;
     tiny.samples = 2;
     EXPECT_THROW(expectation_engine(model_params{}, {}, tiny),
+                 std::invalid_argument);
+    mc_options negative_threads;
+    negative_threads.threads = -1;
+    EXPECT_THROW(expectation_engine(model_params{}, {}, negative_threads),
                  std::invalid_argument);
 }
 
