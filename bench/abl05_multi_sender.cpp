@@ -2,6 +2,12 @@
 // to fundamentally alter the results" (§3.2.1), with [Cheng06] arguing
 // high concurrency is rare in deployments anyway. We sweep n = 2..5 over
 // the (Rmax, D) grid and report carrier-sense efficiency per pair.
+//
+// The factory threshold (D_thresh 55) rides along in the tuned sweep's
+// candidate list: every threshold shares one common set of sampled
+// configurations, so each grid cell pays for its Monte Carlo geometry
+// once (previously twice - once for the factory point, once for the
+// sweep). The sampling itself is sharded over the campaign layer.
 #include <algorithm>
 #include <cstdio>
 
@@ -10,6 +16,10 @@
 #include "src/report/table.hpp"
 
 using namespace csense;
+
+namespace {
+constexpr double factory_d_thresh = 55.0;
+}
 
 CSENSE_SCENARIO(abl05_multi_sender,
                 "Ablation A5: carrier sense with n = 2..5 competing "
@@ -24,6 +34,7 @@ CSENSE_SCENARIO(abl05_multi_sender,
 
     std::vector<double> candidates;
     for (double t = 25.0; t <= 220.0; t *= 1.2) candidates.push_back(t);
+    candidates.push_back(factory_d_thresh);  // the factory point rides along
     double min_factory_eff = 1.0, min_tuned_eff = 1.0;
     for (double rmax : {20.0, 40.0, 120.0}) {
         std::printf("\n-- Rmax = %.0f (factory = D_thresh 55 / per-n tuned) "
@@ -32,19 +43,20 @@ CSENSE_SCENARIO(abl05_multi_sender,
         for (int n : {2, 3, 4, 5}) {
             std::vector<std::string> row{report::fmt(n, 0)};
             for (double d : {20.0, 55.0, 120.0}) {
-                const auto factory = core::evaluate_multi_sender(
-                    params, n, rmax, d, 55.0, samples);
                 const auto sweep = core::evaluate_multi_sender_thresholds(
-                    params, n, rmax, d, candidates, samples);
-                double tuned = 0.0;
+                    params, n, rmax, d, candidates, samples, /*seed=*/42,
+                    ctx.threads);
+                double factory = 0.0, tuned = 0.0;
                 for (const auto& point : sweep) {
+                    if (point.d_thresh == factory_d_thresh) {
+                        factory = point.efficiency();
+                    }
                     tuned = std::max(tuned, point.efficiency());
                 }
-                min_factory_eff =
-                    std::min(min_factory_eff, factory.efficiency());
+                min_factory_eff = std::min(min_factory_eff, factory);
                 min_tuned_eff = std::min(min_tuned_eff, tuned);
-                row.push_back(report::fmt_percent(factory.efficiency()) +
-                              " / " + report::fmt_percent(tuned));
+                row.push_back(report::fmt_percent(factory) + " / " +
+                              report::fmt_percent(tuned));
             }
             table.add_row(std::move(row));
         }

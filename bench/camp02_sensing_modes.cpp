@@ -1,0 +1,142 @@
+// Campaign C2: sensing modes under many-sender interference (N = 10).
+//
+// The §5 pathology discussion distinguishes energy detection from
+// preamble-based sensing: a node that is transmitting cannot decode
+// preambles, so preamble-only carrier sense suffers chain collisions
+// (starting over an audible frame whose preamble it missed). With ten
+// saturated senders the channel is rarely quiet, which makes this the
+// harshest regime for preamble sensing. Each random topology is
+// replayed under all four cs_modes with common random numbers.
+//
+// Sharded over the deterministic campaign layer: JSON is byte-identical
+// for every --threads value.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/mac/multi_pair.hpp"
+#include "src/report/table.hpp"
+#include "src/sim/campaign.hpp"
+
+using namespace csense;
+
+namespace {
+
+constexpr int campaign_pairs = 10;
+
+struct mode_outcome {
+    double total_pps = 0.0;
+    double jain = 0.0;
+    double chain_per_tx = 0.0;
+    double busy_per_tx = 0.0;
+};
+
+struct replication_outcome {
+    mode_outcome modes[4];
+};
+
+constexpr mac::cs_mode all_modes[4] = {
+    mac::cs_mode::disabled, mac::cs_mode::energy, mac::cs_mode::preamble,
+    mac::cs_mode::energy_and_preamble};
+
+const char* mode_name(int index) {
+    switch (index) {
+        case 0: return "disabled";
+        case 1: return "energy";
+        case 2: return "preamble";
+        default: return "energy+preamble";
+    }
+}
+
+}  // namespace
+
+CSENSE_SCENARIO(camp02_sensing_modes,
+                "Campaign C2: energy vs preamble sensing with 10 competing "
+                "pairs (chain-collision pathology)") {
+    bench::print_header(
+        "Campaign C2 - sensing modes, N = 10 pairs",
+        "same random topologies replayed under all four cs_modes; "
+        "preamble-only sensing meets the chain-collision pathology");
+    const std::size_t replications = bench::fast_mode() ? 5 : 20;
+    const double duration_us = bench::fast_mode() ? 3e5 : 2e6;
+
+    mac::multi_pair_config base_config;
+    base_config.rate = &capacity::rate_by_mbps(6.0);
+    base_config.duration_us = duration_us;
+
+    sim::campaign_options campaign;
+    campaign.replications = replications;
+    campaign.shard_size = 1;
+    campaign.threads = ctx.threads;
+    campaign.seed = ctx.seed ^ 0xca4902ULL;
+    const auto outcomes = sim::run_replications<replication_outcome>(
+        campaign, [&](std::size_t, stats::rng& gen) {
+            const auto topology = mac::sample_multi_pair_topology(
+                campaign_pairs, /*arena_m=*/100.0, /*rmax_m=*/25.0, gen);
+            const std::uint64_t sim_seed = gen.next();
+            replication_outcome outcome;
+            for (int m = 0; m < 4; ++m) {
+                auto cfg = base_config;
+                cfg.sense = all_modes[m];
+                cfg.seed = sim_seed;  // common random numbers across modes
+                const auto run = mac::run_multi_pair(topology, cfg);
+                auto& mode = outcome.modes[m];
+                mode.total_pps = run.total_pps;
+                mode.jain = run.jain_index();
+                const double tx =
+                    std::max<double>(1.0, static_cast<double>(
+                                              run.counters.transmissions));
+                mode.chain_per_tx =
+                    static_cast<double>(run.counters.chain_collisions) / tx;
+                mode.busy_per_tx =
+                    static_cast<double>(run.counters.busy_starts) / tx;
+            }
+            return outcome;
+        });
+
+    report::text_table table(
+        {"mode", "pkt/s", "Jain", "chain/tx", "busy/tx"});
+    double mean[4] = {}, jain[4] = {}, chain[4] = {}, busy[4] = {};
+    const double n = static_cast<double>(outcomes.size());
+    for (const auto& o : outcomes) {
+        for (int m = 0; m < 4; ++m) {
+            mean[m] += o.modes[m].total_pps / n;
+            jain[m] += o.modes[m].jain / n;
+            chain[m] += o.modes[m].chain_per_tx / n;
+            busy[m] += o.modes[m].busy_per_tx / n;
+        }
+    }
+    for (int m = 0; m < 4; ++m) {
+        table.add_row({mode_name(m), report::fmt(mean[m], 0),
+                       report::fmt(jain[m], 3), report::fmt(chain[m], 4),
+                       report::fmt(busy[m], 4)});
+        const std::string prefix = std::string("mode_") + mode_name(m);
+        ctx.metric(prefix + "_pps", mean[m]);
+        ctx.metric(prefix + "_jain", jain[m]);
+        ctx.metric(prefix + "_chain_per_tx", chain[m]);
+    }
+    std::printf("%s", table.render().c_str());
+
+    // The pathology ordering the §5 discussion predicts: preamble-only
+    // sensing starts over audible frames it missed the preamble of
+    // (chain collisions), so it sits between no sensing and energy
+    // detection in busy starts and shows more chain collisions than
+    // energy detection does.
+    const bool chain_pathology = chain[2] > chain[1];
+    const bool busy_ordering = busy[0] > busy[2] && busy[2] > busy[1] * 0.999;
+    ctx.metric("preamble_chain_exceeds_energy", chain_pathology);
+    ctx.metric("busy_ordering_holds", busy_ordering);
+    std::printf(
+        "\nReading: with ten saturated senders the air is rarely quiet; "
+        "preamble-only sensing misses preambles while transmitting and "
+        "chain-collides (%0.4f/tx vs %0.4f/tx for energy detection). "
+        "Energy detection, the thesis' recommendation, keeps busy starts "
+        "lowest; disabled sensing shows the cumulative-interference "
+        "free-for-all.\n",
+        chain[2], chain[1]);
+    // Like camp01, the pathology gate only binds at the full replication
+    // budget; fast runs record metrics without failing on noise.
+    if (bench::fast_mode()) return 0;
+    return chain_pathology ? 0 : 1;
+}

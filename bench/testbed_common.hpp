@@ -22,6 +22,7 @@ inline testbed::experiment_config bench_config(const scenario_context& ctx,
     auto cfg = short_range ? testbed::short_range_config()
                            : testbed::long_range_config();
     cfg.seed = ctx.seed;
+    cfg.threads = ctx.threads;  // wall-clock only; results are invariant
     if (fast_mode()) {
         cfg.runs = 6;
         cfg.duration_s = 1.0;
@@ -34,9 +35,11 @@ inline testbed::experiment_config bench_config(const scenario_context& ctx,
 
 inline std::string cache_key(const testbed::experiment_config& cfg) {
     std::ostringstream key;
-    // v4: cache TSVs switched to full round-trip precision; the bump
-    // keeps stale 6-digit caches from older checkouts from being loaded.
-    key << "v4_" << cfg.runs << "_" << cfg.duration_s << "_" << cfg.category_lo
+    // v5: runs shard over the campaign layer with per-run split RNG
+    // streams, which changes the sampled pair-of-pairs; the bump keeps
+    // pre-campaign ensembles from being loaded. (threads is deliberately
+    // NOT part of the key: results are thread-count invariant.)
+    key << "v5_" << cfg.runs << "_" << cfg.duration_s << "_" << cfg.category_lo
         << "_" << cfg.category_hi << "_" << cfg.seed << "_"
         << cfg.rssi_strata_lo_db << "_" << cfg.rssi_strata_hi_db;
     return key.str();

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "src/core/policies.hpp"
+#include "src/sim/campaign.hpp"
 #include "src/stats/distributions.hpp"
 #include "src/stats/rng.hpp"
+#include "src/stats/summary.hpp"
 
 namespace csense::core {
 
@@ -21,29 +23,46 @@ fairness_report analyze_fairness(const expectation_engine& engine, double rmax,
     const auto& params = engine.params();
     const double p_defer = engine.defer_probability(d, d_thresh);
     const stats::lognormal_shadowing shadow(params.sigma_db);
-    stats::rng base(engine.mc().seed ^ 0xfa17ULL);
+
+    // Per-receiver throughputs land by sample index via the campaign
+    // layer: the reduction below runs in the historical serial order, so
+    // the report is bit-identical for every worker count (and to the
+    // pre-campaign serial implementation).
+    struct receiver_sample {
+        double cs = 0.0;
+        bool starved = false;
+    };
+    sim::campaign_options campaign;
+    campaign.replications = samples;
+    campaign.shard_size = 512;
+    campaign.threads = engine.mc().threads;
+    campaign.seed = engine.mc().seed ^ 0xfa17ULL;
+    const auto sampled = sim::run_replications<receiver_sample>(
+        campaign, [&](std::size_t, stats::rng& gen) {
+            const auto point = stats::sample_uniform_disc(gen, rmax);
+            double ls = 1.0, li = 1.0;
+            if (!params.deterministic()) {
+                ls = shadow.sample(gen);
+                li = shadow.sample(gen);
+            }
+            const double mux = capacity_multiplexing(params, point.r, ls);
+            const double conc =
+                capacity_concurrent(params, point.r, point.theta, d, ls, li);
+            receiver_sample sample;
+            sample.cs = p_defer * mux + (1.0 - p_defer) * conc;
+            sample.starved =
+                sample.cs < starvation_fraction * std::max(mux, conc);
+            return sample;
+        });
 
     std::vector<double> throughput;
     throughput.reserve(samples);
-    double sum = 0.0, sum_sq = 0.0;
+    double sum = 0.0;
     std::size_t starved = 0;
-    for (std::size_t i = 0; i < samples; ++i) {
-        stats::rng gen = base.split(static_cast<std::uint64_t>(i));
-        const auto point = stats::sample_uniform_disc(gen, rmax);
-        double ls = 1.0, li = 1.0;
-        if (!params.deterministic()) {
-            ls = shadow.sample(gen);
-            li = shadow.sample(gen);
-        }
-        const double mux = capacity_multiplexing(params, point.r, ls);
-        const double conc =
-            capacity_concurrent(params, point.r, point.theta, d, ls, li);
-        const double cs = p_defer * mux + (1.0 - p_defer) * conc;
-        const double ub = std::max(mux, conc);
-        if (cs < starvation_fraction * ub) ++starved;
-        throughput.push_back(cs);
-        sum += cs;
-        sum_sq += cs * cs;
+    for (const auto& sample : sampled) {
+        if (sample.starved) ++starved;
+        throughput.push_back(sample.cs);
+        sum += sample.cs;
     }
 
     fairness_report report;
@@ -53,7 +72,7 @@ fairness_report analyze_fairness(const expectation_engine& engine, double rmax,
     report.samples = samples;
     const double n = static_cast<double>(samples);
     report.mean = sum / n;
-    report.jain_index = (sum_sq > 0.0) ? (sum * sum) / (n * sum_sq) : 1.0;
+    report.jain_index = stats::jain_index(throughput);
     report.starved_fraction = static_cast<double>(starved) / n;
     std::nth_element(throughput.begin(),
                      throughput.begin() + static_cast<std::ptrdiff_t>(n / 10),

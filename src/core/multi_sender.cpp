@@ -6,15 +6,120 @@
 #include <vector>
 
 #include "src/capacity/shannon.hpp"
+#include "src/sim/campaign.hpp"
 #include "src/stats/distributions.hpp"
 #include "src/stats/rng.hpp"
 
 namespace csense::core {
+namespace {
+
+/// Everything one sampled configuration contributes. The carrier-sense
+/// decision is threshold-independent up to a comparison of `max_sensed`
+/// against the threshold power, so one pass serves every candidate.
+struct sample_stat {
+    double multiplexing = 0.0;
+    double concurrent = 0.0;
+    double max_sensed = 0.0;
+};
+
+struct vec2 {
+    double x, y;
+};
+
+/// Per-shard scratch: one allocation per shard instead of per sample.
+struct sample_scratch {
+    std::vector<vec2> sender_pos;
+    std::vector<vec2> receiver_pos;
+    // Per-(receiver, sender) shadows, row-major; [i * n + j] is the path
+    // from sender j to receiver i. Sensing shadows are per sender pair.
+    std::vector<double> path_shadow;
+
+    explicit sample_scratch(int n)
+        : sender_pos(n), receiver_pos(n), path_shadow(n * n) {}
+};
+
+sample_stat evaluate_sample(const model_params& params, int n, double rmax,
+                            double d, double noise,
+                            const stats::lognormal_shadowing& shadow,
+                            sample_scratch& scratch, stats::rng& gen) {
+    auto& sender_pos = scratch.sender_pos;
+    auto& receiver_pos = scratch.receiver_pos;
+    auto& path_shadow = scratch.path_shadow;
+
+    // alpha = 3 is the thesis' default and the hot path: an O(n^2) grid
+    // of libm pow calls per sample collapses to multiplications.
+    const bool cubic = params.alpha == 3.0;
+    const auto path_gain = [&](double dist) {
+        return cubic ? 1.0 / (dist * dist * dist)
+                     : std::pow(dist, -params.alpha);
+    };
+
+    // Geometry: sender 0 at the origin, the rest on a circle of
+    // radius D at independent uniform angles.
+    sender_pos[0] = {0.0, 0.0};
+    for (int j = 1; j < n; ++j) {
+        const double angle = gen.uniform(0.0, 2.0 * std::numbers::pi);
+        sender_pos[j] = {d * std::cos(angle), d * std::sin(angle)};
+    }
+    for (int i = 0; i < n; ++i) {
+        const auto p = stats::sample_uniform_disc(gen, rmax);
+        receiver_pos[i] = {sender_pos[i].x + p.r * std::cos(p.theta),
+                           sender_pos[i].y + p.r * std::sin(p.theta)};
+        for (int j = 0; j < n; ++j) {
+            path_shadow[i * n + j] =
+                params.deterministic() ? 1.0 : shadow.sample(gen);
+        }
+    }
+
+    sample_stat stat;
+    // Carrier sense: any mutually-sensed pair above threshold puts the
+    // whole cluster into TDMA; record the maximum sensed power so every
+    // candidate threshold can make its decision later.
+    for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) {
+            const double dx = sender_pos[a].x - sender_pos[b].x;
+            const double dy = sender_pos[a].y - sender_pos[b].y;
+            const double dist =
+                std::max(std::sqrt(dx * dx + dy * dy), 1e-9);
+            const double sense_shadow =
+                params.deterministic() ? 1.0 : shadow.sample(gen);
+            stat.max_sensed =
+                std::max(stat.max_sensed, path_gain(dist) * sense_shadow);
+        }
+    }
+
+    // Capacities.
+    double conc_total = 0.0, mux_total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double dx = receiver_pos[i].x - sender_pos[i].x;
+        const double dy = receiver_pos[i].y - sender_pos[i].y;
+        const double r = std::max(std::sqrt(dx * dx + dy * dy), 1e-6);
+        const double signal = path_gain(r) * path_shadow[i * n + i];
+        double interference = 0.0;
+        for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const double ix = receiver_pos[i].x - sender_pos[j].x;
+            const double iy = receiver_pos[i].y - sender_pos[j].y;
+            const double dist =
+                std::max(std::sqrt(ix * ix + iy * iy), 1e-6);
+            interference += path_gain(dist) * path_shadow[i * n + j];
+        }
+        conc_total +=
+            capacity::shannon_bits_per_hz(signal / (noise + interference));
+        mux_total += capacity::shannon_bits_per_hz(signal / noise) /
+                     static_cast<double>(n);
+    }
+    stat.concurrent = conc_total / n;  // per-pair averages
+    stat.multiplexing = mux_total / n;
+    return stat;
+}
+
+}  // namespace
 
 std::vector<multi_sender_point> evaluate_multi_sender_thresholds(
     const model_params& params, int senders, double rmax, double d,
     const std::vector<double>& d_thresholds, std::size_t samples,
-    std::uint64_t seed) {
+    std::uint64_t seed, int threads) {
     params.validate();
     if (senders < 2 || !(rmax > 0.0) || !(d > 0.0) || samples < 100 ||
         d_thresholds.empty()) {
@@ -23,87 +128,46 @@ std::vector<multi_sender_point> evaluate_multi_sender_thresholds(
     const int n = senders;
     const double noise = params.noise_linear();
     const stats::lognormal_shadowing shadow(params.sigma_db);
-    stats::rng base(seed);
 
-    struct vec2 {
-        double x, y;
-    };
-    std::vector<vec2> sender_pos(n);
-    std::vector<vec2> receiver_pos(n);
-    // Per-(receiver, sender) shadows; [i][j] is the path from sender j to
-    // receiver i. Sensing shadows are per sender pair.
-    std::vector<std::vector<double>> path_shadow(n, std::vector<double>(n));
+    // Shard the expensive sampling over the campaign layer. Per-sample
+    // stats land by index and the fold below runs in sample order, so
+    // results are bit-identical for every thread count. Scratch buffers
+    // are hoisted to shard scope (one allocation per 512 samples, not
+    // per sample).
+    sim::campaign_options campaign;
+    campaign.replications = samples;
+    campaign.shard_size = 512;  // cheap analytic samples: coarse shards
+    campaign.threads = threads;
+    campaign.seed = seed;
+    std::vector<sample_stat> stats_by_sample(samples);
+    const stats::rng base(campaign.seed);
+    sim::for_each_shard(campaign, [&](std::size_t begin, std::size_t end) {
+        sample_scratch scratch(n);
+        for (std::size_t i = begin; i < end; ++i) {
+            stats::rng gen = base.split(static_cast<std::uint64_t>(i));
+            stats_by_sample[i] = evaluate_sample(params, n, rmax, d, noise,
+                                                 shadow, scratch, gen);
+        }
+    });
+
+    // Hoisted out of the per-sample loop: the threshold powers depend
+    // only on the candidate list (was recomputed samples x thresholds
+    // times).
+    std::vector<double> p_thresholds(d_thresholds.size());
+    for (std::size_t t = 0; t < d_thresholds.size(); ++t) {
+        p_thresholds[t] = std::pow(d_thresholds[t], -params.alpha);
+    }
 
     double sum_mux = 0.0, sum_conc = 0.0, sum_opt = 0.0;
     std::vector<double> sum_cs(d_thresholds.size(), 0.0);
-    for (std::size_t s = 0; s < samples; ++s) {
-        stats::rng gen = base.split(static_cast<std::uint64_t>(s));
-        // Geometry: sender 0 at the origin, the rest on a circle of
-        // radius D at independent uniform angles.
-        sender_pos[0] = {0.0, 0.0};
-        for (int j = 1; j < n; ++j) {
-            const double angle = gen.uniform(0.0, 2.0 * std::numbers::pi);
-            sender_pos[j] = {d * std::cos(angle), d * std::sin(angle)};
-        }
-        for (int i = 0; i < n; ++i) {
-            const auto p = stats::sample_uniform_disc(gen, rmax);
-            receiver_pos[i] = {sender_pos[i].x + p.r * std::cos(p.theta),
-                               sender_pos[i].y + p.r * std::sin(p.theta)};
-            for (int j = 0; j < n; ++j) {
-                path_shadow[i][j] = params.deterministic()
-                                        ? 1.0
-                                        : shadow.sample(gen);
-            }
-        }
-
-        // Carrier sense: any mutually-sensed pair above threshold puts
-        // the whole cluster into TDMA. The decision is a comparison of
-        // the *maximum* sensed power against the threshold, so one pass
-        // serves every candidate threshold.
-        double max_sensed = 0.0;
-        for (int a = 0; a < n; ++a) {
-            for (int b = a + 1; b < n; ++b) {
-                const double dx = sender_pos[a].x - sender_pos[b].x;
-                const double dy = sender_pos[a].y - sender_pos[b].y;
-                const double dist = std::max(std::hypot(dx, dy), 1e-9);
-                const double sense_shadow =
-                    params.deterministic() ? 1.0 : shadow.sample(gen);
-                max_sensed = std::max(
-                    max_sensed, std::pow(dist, -params.alpha) * sense_shadow);
-            }
-        }
-
-        // Capacities.
-        double conc_total = 0.0, mux_total = 0.0;
-        for (int i = 0; i < n; ++i) {
-            const double dx = receiver_pos[i].x - sender_pos[i].x;
-            const double dy = receiver_pos[i].y - sender_pos[i].y;
-            const double r = std::max(std::hypot(dx, dy), 1e-6);
-            const double signal =
-                std::pow(r, -params.alpha) * path_shadow[i][i];
-            double interference = 0.0;
-            for (int j = 0; j < n; ++j) {
-                if (j == i) continue;
-                const double ix = receiver_pos[i].x - sender_pos[j].x;
-                const double iy = receiver_pos[i].y - sender_pos[j].y;
-                const double dist = std::max(std::hypot(ix, iy), 1e-6);
-                interference +=
-                    std::pow(dist, -params.alpha) * path_shadow[i][j];
-            }
-            conc_total += capacity::shannon_bits_per_hz(
-                signal / (noise + interference));
-            mux_total += capacity::shannon_bits_per_hz(signal / noise) /
-                         static_cast<double>(n);
-        }
-        const double conc = conc_total / n;  // per-pair averages
-        const double mux = mux_total / n;
-        sum_conc += conc;
-        sum_mux += mux;
-        sum_opt += std::max(conc, mux);
-        for (std::size_t t = 0; t < d_thresholds.size(); ++t) {
-            const double p_thresh =
-                std::pow(d_thresholds[t], -params.alpha);
-            sum_cs[t] += (max_sensed > p_thresh) ? mux : conc;
+    for (const auto& stat : stats_by_sample) {
+        sum_conc += stat.concurrent;
+        sum_mux += stat.multiplexing;
+        sum_opt += std::max(stat.concurrent, stat.multiplexing);
+        for (std::size_t t = 0; t < p_thresholds.size(); ++t) {
+            sum_cs[t] += (stat.max_sensed > p_thresholds[t])
+                             ? stat.multiplexing
+                             : stat.concurrent;
         }
     }
 
@@ -114,6 +178,7 @@ std::vector<multi_sender_point> evaluate_multi_sender_thresholds(
         point.senders = n;
         point.rmax = rmax;
         point.d = d;
+        point.d_thresh = d_thresholds[t];
         point.multiplexing = sum_mux / count;
         point.concurrent = sum_conc / count;
         point.carrier_sense = sum_cs[t] / count;
@@ -126,9 +191,10 @@ std::vector<multi_sender_point> evaluate_multi_sender_thresholds(
 multi_sender_point evaluate_multi_sender(const model_params& params,
                                          int senders, double rmax, double d,
                                          double d_thresh, std::size_t samples,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed, int threads) {
     return evaluate_multi_sender_thresholds(params, senders, rmax, d,
-                                            {d_thresh}, samples, seed)
+                                            {d_thresh}, samples, seed,
+                                            threads)
         .front();
 }
 

@@ -18,7 +18,11 @@
 //  - optimal: the genie picks the better of the same two group-wide
 //    options per configuration (the n-pair analogue of C_max).
 //
-// All quantities are per-pair averages, Monte Carlo estimated.
+// All quantities are per-pair averages, Monte Carlo estimated. The
+// sampling is sharded over the deterministic campaign layer
+// (src/sim/campaign.hpp): results are bit-identical for every thread
+// count (the usual caveat applies: a different binary or kernel change
+// still moves values in the last ULP).
 #pragma once
 
 #include <vector>
@@ -32,6 +36,7 @@ struct multi_sender_point {
     int senders = 0;
     double rmax = 0.0;
     double d = 0.0;
+    double d_thresh = 0.0;  ///< the threshold this point was evaluated at
     double multiplexing = 0.0;
     double concurrent = 0.0;
     double carrier_sense = 0.0;
@@ -44,22 +49,25 @@ struct multi_sender_point {
 
 /// Monte Carlo evaluation of the n-sender model at one (Rmax, D) point.
 /// `d_thresh` is the usual threshold distance; `samples` configurations
-/// are drawn with common random numbers from `seed`.
+/// are drawn with common random numbers from `seed`. `threads` follows
+/// the parallel runtime convention (0 = auto; output never depends on it).
 multi_sender_point evaluate_multi_sender(const model_params& params,
                                          int senders, double rmax, double d,
                                          double d_thresh,
                                          std::size_t samples = 40000,
-                                         std::uint64_t seed = 42);
+                                         std::uint64_t seed = 42,
+                                         int threads = 0);
 
 /// Evaluate many thresholds over one common set of sampled
 /// configurations (the per-sample CS decision is a comparison of the
 /// maximum sensed power against the threshold, so all thresholds share
 /// the expensive part). Useful for per-n threshold tuning: with more
 /// senders the aggregate interference grows and the two-sender factory
-/// threshold under-defers.
+/// threshold under-defers. Each returned point carries its own
+/// `d_thresh`, in the order of `d_thresholds`.
 std::vector<multi_sender_point> evaluate_multi_sender_thresholds(
     const model_params& params, int senders, double rmax, double d,
     const std::vector<double>& d_thresholds, std::size_t samples = 40000,
-    std::uint64_t seed = 42);
+    std::uint64_t seed = 42, int threads = 0);
 
 }  // namespace csense::core

@@ -93,6 +93,13 @@ public:
     const medium_counters& counters() const noexcept { return counters_; }
     const radio_config& radio() const noexcept { return radio_; }
 
+    /// Transmission-log entries currently held. Compaction clears the
+    /// log at quiet moments so long runs stay O(active); exposed for the
+    /// bounded-memory regression tests.
+    std::size_t transmission_log_size() const noexcept {
+        return transmissions_.size();
+    }
+
 private:
     struct transmission {
         frame f;

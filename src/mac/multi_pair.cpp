@@ -1,0 +1,163 @@
+#include "src/mac/multi_pair.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/capacity/shannon.hpp"
+#include "src/propagation/units.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/summary.hpp"
+
+namespace csense::mac {
+
+multi_pair_topology sample_multi_pair_topology(int pairs, double arena_m,
+                                               double rmax_m,
+                                               stats::rng& gen) {
+    if (pairs < 1 || !(arena_m > 0.0) || !(rmax_m > 0.0)) {
+        throw std::invalid_argument(
+            "sample_multi_pair_topology: bad arguments");
+    }
+    multi_pair_topology topology;
+    topology.senders.resize(pairs);
+    topology.receivers.resize(pairs);
+    for (int i = 0; i < pairs; ++i) {
+        topology.senders[i] = {gen.uniform(0.0, arena_m),
+                               gen.uniform(0.0, arena_m)};
+        const auto p = stats::sample_uniform_disc(gen, rmax_m);
+        topology.receivers[i] = {
+            topology.senders[i].x + p.r * std::cos(p.theta),
+            topology.senders[i].y + p.r * std::sin(p.theta)};
+    }
+    return topology;
+}
+
+double multi_pair_config::gain_db(double dist_m) const {
+    // Log-distance path loss anchored at 1 m; clamping below 1 m keeps
+    // pathological overlaps from producing gain > -reference_loss.
+    const double d = std::max(dist_m, 1.0);
+    return -(reference_loss_db + 10.0 * alpha * std::log10(d));
+}
+
+namespace {
+
+double distance(const multi_pair_topology::position& a,
+                const multi_pair_topology::position& b) noexcept {
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Flatten topology node positions in network id order: sender i is node
+/// 2i, receiver i is node 2i + 1.
+std::vector<multi_pair_topology::position> node_positions(
+    const multi_pair_topology& topology) {
+    std::vector<multi_pair_topology::position> nodes;
+    nodes.reserve(2 * topology.pairs());
+    for (std::size_t i = 0; i < topology.pairs(); ++i) {
+        nodes.push_back(topology.senders[i]);
+        nodes.push_back(topology.receivers[i]);
+    }
+    return nodes;
+}
+
+}  // namespace
+
+double multi_pair_result::jain_index() const noexcept {
+    return stats::jain_index(per_pair_pps);
+}
+
+multi_pair_result run_multi_pair(const multi_pair_topology& topology,
+                                 const multi_pair_config& config) {
+    const std::size_t n = topology.pairs();
+    if (n < 1) {
+        throw std::invalid_argument("run_multi_pair: empty topology");
+    }
+    if (config.rate == nullptr) {
+        throw std::invalid_argument("run_multi_pair: no data rate");
+    }
+    network net(config.radio, config.seed);
+    mac_config sender_cfg;
+    sender_cfg.sense = config.sense;
+    mac_config receiver_cfg;  // receivers never transmit
+    std::vector<node_id> senders(n), receivers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        senders[i] = net.add_node(sender_cfg);
+        receivers[i] = net.add_node(receiver_cfg);
+    }
+
+    const auto nodes = node_positions(topology);
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+        for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+            net.set_link_gain_db(static_cast<node_id>(a),
+                                 static_cast<node_id>(b),
+                                 config.gain_db(distance(nodes[a], nodes[b])));
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        net.node(senders[i])
+            .set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+                         *config.rate, config.payload_bytes);
+    }
+    net.run(config.duration_us);
+
+    multi_pair_result result;
+    result.per_pair_pps.resize(n, 0.0);
+    const double seconds = config.duration_us / 1e6;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& by_src = net.node(receivers[i]).stats().rx_decoded_by_src;
+        const auto it = by_src.find(senders[i]);
+        result.per_pair_pps[i] =
+            (it != by_src.end()) ? it->second / seconds : 0.0;
+        result.total_pps += result.per_pair_pps[i];
+    }
+    result.counters = net.air().counters();
+    return result;
+}
+
+multi_pair_prediction predict_multi_pair(const multi_pair_topology& topology,
+                                         const multi_pair_config& config) {
+    const std::size_t n = topology.pairs();
+    if (n < 1) {
+        throw std::invalid_argument("predict_multi_pair: empty topology");
+    }
+    const double noise_mw =
+        propagation::dbm_to_mw(config.radio.noise_floor_dbm);
+
+    multi_pair_prediction prediction;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double signal_mw = propagation::dbm_to_mw(
+            config.radio.tx_power_dbm +
+            config.gain_db(distance(topology.senders[i],
+                                    topology.receivers[i])));
+        double interference_mw = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            interference_mw += propagation::dbm_to_mw(
+                config.radio.tx_power_dbm +
+                config.gain_db(distance(topology.senders[j],
+                                        topology.receivers[i])));
+        }
+        prediction.concurrent += capacity::shannon_bits_per_hz(
+            signal_mw / (noise_mw + interference_mw));
+        prediction.multiplexing +=
+            capacity::shannon_bits_per_hz(signal_mw / noise_mw) /
+            static_cast<double>(n);
+    }
+    prediction.concurrent /= static_cast<double>(n);
+    prediction.multiplexing /= static_cast<double>(n);
+
+    for (std::size_t a = 0; a < n && !prediction.cs_defers; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            const double sensed_dbm =
+                config.radio.tx_power_dbm +
+                config.gain_db(distance(topology.senders[a],
+                                        topology.senders[b]));
+            if (sensed_dbm >= config.radio.cs_threshold_dbm) {
+                prediction.cs_defers = true;
+                break;
+            }
+        }
+    }
+    return prediction;
+}
+
+}  // namespace csense::mac

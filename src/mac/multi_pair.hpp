@@ -1,0 +1,90 @@
+// Many-pair packet-level scenarios: N sender->receiver pairs on a random
+// planar topology, every receiver exposed to the *cumulative*
+// interference of all other senders. This is the scenario family where
+// pairwise-sensing models are known to be optimistic (Fu, Liew & Huang's
+// cumulative-interference analysis; Kai & Liew's critique of pairwise
+// carrier-sensing models): with many senders, aggregate interference can
+// break a receiver even though every individual interferer is weak.
+//
+// A topology is plain data (positions), so one draw can be replayed
+// under several carrier-sense modes, rates, or radios - the seed x
+// topology x config axes the campaign layer shards over. A matching
+// analytic §3-style prediction (Shannon capacities plus the
+// binary-cluster carrier-sense decision) supports model-vs-sim
+// agreement checks at campaign scale.
+#pragma once
+
+#include <vector>
+
+#include "src/mac/network.hpp"
+#include "src/stats/rng.hpp"
+
+namespace csense::mac {
+
+/// N sender->receiver pairs; positions in meters.
+struct multi_pair_topology {
+    struct position {
+        double x = 0.0;
+        double y = 0.0;
+    };
+    std::vector<position> senders;
+    std::vector<position> receivers;
+
+    std::size_t pairs() const noexcept { return senders.size(); }
+};
+
+/// Draw a random topology: senders uniform in an `arena_m`-sided square,
+/// each receiver uniform in a disc of radius `rmax_m` around its sender.
+multi_pair_topology sample_multi_pair_topology(int pairs, double arena_m,
+                                               double rmax_m,
+                                               stats::rng& gen);
+
+/// One simulated run's configuration.
+struct multi_pair_config {
+    radio_config radio;
+    cs_mode sense = cs_mode::energy_and_preamble;
+    const capacity::phy_rate* rate = nullptr;  ///< fixed data rate, all pairs
+    double duration_us = 2e6;
+    int payload_bytes = 1400;
+    double alpha = 3.0;               ///< path-loss exponent for link gains
+    double reference_loss_db = 47.0;  ///< loss at 1 m (5 GHz-ish)
+    std::uint64_t seed = 1;
+
+    /// Symmetric link gain for a node pair at distance `dist_m`.
+    double gain_db(double dist_m) const;
+};
+
+/// Delivered throughput of one simulated run.
+struct multi_pair_result {
+    std::vector<double> per_pair_pps;  ///< delivered pkt/s at receiver i
+    double total_pps = 0.0;
+    medium_counters counters;
+
+    /// Jain's fairness index over the per-pair throughputs.
+    double jain_index() const noexcept;
+};
+
+/// Run all pairs saturated-broadcast for `duration_us` under the given
+/// carrier-sense mode and measure delivery at each designated receiver.
+multi_pair_result run_multi_pair(const multi_pair_topology& topology,
+                                 const multi_pair_config& config);
+
+/// Analytic §3-style prediction for an explicit topology, in the
+/// simulator's dBm units: per-pair mean Shannon capacity under full
+/// concurrency (cumulative interference) and under TDMA, plus the
+/// binary-cluster carrier-sense decision (any sender pair sensed above
+/// the energy-detect threshold puts the whole group into TDMA).
+struct multi_pair_prediction {
+    double concurrent = 0.0;    ///< per-pair mean bits/s/Hz, all senders on
+    double multiplexing = 0.0;  ///< per-pair mean bits/s/Hz, 1/n share
+    bool cs_defers = false;     ///< the cluster decision at cs_threshold_dbm
+
+    double predicted_best() const noexcept {
+        return concurrent > multiplexing ? concurrent : multiplexing;
+    }
+};
+
+multi_pair_prediction predict_multi_pair(const multi_pair_topology& topology,
+                                         const multi_pair_config& config);
+
+}  // namespace csense::mac

@@ -1,0 +1,118 @@
+// Deterministic Monte-Carlo campaign layer: shard independent
+// replications (seed x topology x config) of a simulation or sampling
+// kernel across the process-wide thread pool (src/core/parallel.hpp).
+//
+// The determinism contract mirrors the expectation engine's:
+//  - every replication draws from its own split RNG stream, derived only
+//    from (campaign seed, replication index) - never from execution
+//    order;
+//  - work is split into shards whose boundaries depend only on
+//    (replications, shard_size), never on the thread count;
+//  - per-replication results are placed by index, and shard partials are
+//    merged in shard-index order on the calling thread.
+//
+// Consequently `run_replications` is bit-identical to a serial loop for
+// every `threads` value, and `accumulate_replications` is bit-identical
+// across thread counts (its shard-partial grouping differs from a plain
+// serial fold only in floating-point association, which is fixed by the
+// shard structure, not by the worker count).
+//
+// Replication callables run concurrently on pool workers: they must not
+// touch shared mutable state beyond their own index's slot. Building a
+// fresh simulator/network per replication (the intended pattern) is safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/stats/rng.hpp"
+
+namespace csense::sim {
+
+/// Execution knobs for one campaign.
+struct campaign_options {
+    /// Independent replications to run.
+    std::size_t replications = 0;
+
+    /// Replications per shard (one shard = one scheduled task). Shard
+    /// boundaries depend only on (replications, shard_size), so results
+    /// are placed identically for every worker count. Pick it so one
+    /// shard is coarse enough to amortize scheduling (a packet-level
+    /// simulation run: 1; a cheap analytic sample: hundreds).
+    std::size_t shard_size = 1;
+
+    /// Worker threads; 0 = auto (CSENSE_THREADS env, else hardware
+    /// concurrency). Purely a wall-clock knob: output never depends on it.
+    int threads = 0;
+
+    /// Base seed. Replication i draws from stats::rng(seed).split(i).
+    std::uint64_t seed = 42;
+
+    /// Throws std::invalid_argument on nonsensical options.
+    void validate() const;
+};
+
+/// Number of shards the options partition the replications into.
+std::size_t campaign_shard_count(const campaign_options& options);
+
+/// Run `shard_body(begin, end)` over every shard of [0, replications),
+/// sharded across the thread pool. The non-template driver behind the
+/// templates below; exposed for callers that manage their own storage.
+void for_each_shard(
+    const campaign_options& options,
+    const std::function<void(std::size_t, std::size_t)>& shard_body);
+
+/// Run every replication and return its result by index. `replicate`
+/// receives (replication index, that replication's own RNG stream).
+/// Bit-identical to the serial loop for every thread count.
+template <typename T, typename Replicate>
+std::vector<T> run_replications(const campaign_options& options,
+                                Replicate&& replicate) {
+    // std::vector<bool> packs bits: concurrent per-index writes from
+    // different shards would race on shared bytes. Wrap bool results in
+    // a struct (or use char) instead.
+    static_assert(!std::is_same_v<T, bool>,
+                  "run_replications<bool> would race on vector<bool> bits");
+    std::vector<T> results(options.replications);
+    const stats::rng base(options.seed);
+    for_each_shard(options, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            stats::rng gen = base.split(static_cast<std::uint64_t>(i));
+            results[i] = replicate(i, gen);
+        }
+    });
+    return results;
+}
+
+/// Fold every replication into an accumulator without materializing
+/// per-replication results: each shard folds its own copy of `identity`
+/// in index order, then shard partials merge into a final copy in
+/// shard-index order on the calling thread. Thread-count invariant.
+/// `identity` MUST be the fold's identity element (0.0, an empty
+/// vector, ...): every shard starts from its own copy, so a non-identity
+/// starting value would be counted once per shard.
+/// `accumulate(acc, index, gen)` mutates the shard accumulator;
+/// `merge(total, partial)` folds one shard partial into the total.
+template <typename Acc, typename Accumulate, typename Merge>
+Acc accumulate_replications(const campaign_options& options, Acc identity,
+                            Accumulate&& accumulate, Merge&& merge) {
+    const std::size_t shards = campaign_shard_count(options);
+    std::vector<Acc> partials(shards, identity);
+    const stats::rng base(options.seed);
+    for_each_shard(options, [&](std::size_t begin, std::size_t end) {
+        Acc& acc = partials[begin / options.shard_size];
+        for (std::size_t i = begin; i < end; ++i) {
+            stats::rng gen = base.split(static_cast<std::uint64_t>(i));
+            accumulate(acc, i, gen);
+        }
+    });
+    Acc total = std::move(identity);
+    for (auto& partial : partials) merge(total, std::move(partial));
+    return total;
+}
+
+}  // namespace csense::sim

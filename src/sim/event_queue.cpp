@@ -1,33 +1,62 @@
 #include "src/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <utility>
 
 namespace csense::sim {
 
 event_id event_queue::schedule(time_us at, std::function<void()> action) {
-    const event_id id = actions_.size();
-    actions_.push_back(std::move(action));
-    cancelled_.push_back(false);
-    heap_.push(entry{at, next_sequence_++, id});
+    std::uint32_t index;
+    if (!free_slots_.empty()) {
+        index = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        index = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[index].action = std::move(action);
+    const std::uint32_t generation = slots_[index].generation;
+    heap_.push_back(entry{at, next_sequence_++, index, generation});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     ++pending_;
-    return id;
+    return make_id(index, generation);
+}
+
+void event_queue::release_slot(std::uint32_t index) {
+    slots_[index].action = nullptr;  // release captured state eagerly
+    ++slots_[index].generation;
+    free_slots_.push_back(index);
 }
 
 bool event_queue::cancel(event_id id) {
-    if (id >= cancelled_.size() || cancelled_[id] || !actions_[id]) {
+    const auto index = static_cast<std::uint32_t>(id & 0xffffffffULL);
+    const auto generation = static_cast<std::uint32_t>(id >> 32);
+    if (index >= slots_.size() || slots_[index].generation != generation ||
+        !slots_[index].action) {
         return false;
     }
-    cancelled_[id] = true;
-    actions_[id] = nullptr;  // release captured state eagerly
+    release_slot(index);
     --pending_;
+    ++stale_in_heap_;  // its heap entry lingers until dropped or compacted
+    maybe_compact();
     return true;
 }
 
 void event_queue::drop_cancelled() {
-    while (!heap_.empty() && cancelled_[heap_.top().id]) {
-        heap_.pop();
+    while (!heap_.empty() && stale(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        heap_.pop_back();
+        --stale_in_heap_;
     }
+}
+
+void event_queue::maybe_compact() {
+    // Compact only when stale entries dominate: O(n) rebuild amortizes to
+    // O(1) per cancellation, and the threshold keeps small queues as-is.
+    if (stale_in_heap_ < 64 || stale_in_heap_ * 2 < heap_.size()) return;
+    std::erase_if(heap_, [this](const entry& e) { return stale(e); });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    stale_in_heap_ = 0;
 }
 
 bool event_queue::empty() const noexcept { return pending_ == 0; }
@@ -36,7 +65,7 @@ time_us event_queue::next_time() const {
     auto* self = const_cast<event_queue*>(this);
     self->drop_cancelled();
     if (heap_.empty()) throw std::logic_error("event_queue::next_time: empty");
-    return heap_.top().at;
+    return heap_.front().at;
 }
 
 time_us event_queue::run_next() {
@@ -48,12 +77,12 @@ time_us event_queue::run_next() {
 std::pair<time_us, std::function<void()>> event_queue::pop_next() {
     drop_cancelled();
     if (heap_.empty()) throw std::logic_error("event_queue::pop_next: empty");
-    const entry top = heap_.top();
-    heap_.pop();
+    const entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    auto action = std::move(slots_[top.slot].action);
+    release_slot(top.slot);
     --pending_;
-    auto action = std::move(actions_[top.id]);
-    actions_[top.id] = nullptr;
-    cancelled_[top.id] = true;
     return {top.at, std::move(action)};
 }
 

@@ -2,11 +2,19 @@
 // timestamps fire in insertion order (a strict requirement for
 // reproducible MAC simulations, where DIFS expiry and slot boundaries
 // coincide constantly).
+//
+// Memory is bounded by the number of *concurrently pending* events, not
+// the number ever scheduled: executed and cancelled events return their
+// slot to a free list, and each slot carries a generation counter so a
+// stale id can never cancel the slot's next occupant. Cancelled entries
+// left inside the heap are dropped lazily when they surface, and the
+// whole heap is compacted when stale entries outnumber live ones (the
+// MAC's cancel-heavy timer pattern would otherwise accumulate them).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace csense::sim {
@@ -15,16 +23,20 @@ namespace csense::sim {
 /// resolution over multi-minute runs (2^53 us ~ 285 years).
 using time_us = double;
 
-/// Handle used to cancel a scheduled event.
+/// Handle used to cancel a scheduled event: slot index in the low 32
+/// bits, the slot's generation at schedule time in the high 32 bits.
 using event_id = std::uint64_t;
 
-/// Min-heap of (time, sequence) ordered events.
+/// Min-heap of (time, sequence) ordered events with slot-recycling
+/// storage for the scheduled actions.
 class event_queue {
 public:
     /// Schedule `action` at absolute time `at`; returns a cancellable id.
     event_id schedule(time_us at, std::function<void()> action);
 
     /// Cancel a pending event; returns false if already fired/cancelled.
+    /// Safe against stale ids: once an event fires or is cancelled its
+    /// slot may be reused, and the old id can never affect the new event.
     bool cancel(event_id id);
 
     /// True when no pending events remain.
@@ -45,11 +57,21 @@ public:
     /// action so the caller can advance its clock first. Requires !empty().
     std::pair<time_us, std::function<void()>> pop_next();
 
+    /// Size of the internal slot table: the high-water mark of
+    /// *concurrently* pending events, independent of how many events were
+    /// ever scheduled (the bounded-memory guarantee regression tests pin).
+    std::size_t slot_count() const noexcept { return slots_.size(); }
+
+    /// Heap entries currently held, including cancelled-but-not-yet
+    /// dropped ones; compaction keeps this O(pending).
+    std::size_t heap_size() const noexcept { return heap_.size(); }
+
 private:
     struct entry {
         time_us at;
         std::uint64_t sequence;
-        event_id id;
+        std::uint32_t slot;
+        std::uint32_t generation;
 
         bool operator>(const entry& other) const noexcept {
             if (at != other.at) return at > other.at;
@@ -57,13 +79,39 @@ private:
         }
     };
 
+    struct slot {
+        std::function<void()> action;
+        /// Incremented whenever the slot is released (fired or
+        /// cancelled); an entry or id bearing an older generation is
+        /// stale. Wraps after 2^32 reuses of one slot, which a simulation
+        /// would take centuries of virtual time to reach.
+        std::uint32_t generation = 0;
+    };
+
+    static event_id make_id(std::uint32_t index,
+                            std::uint32_t generation) noexcept {
+        return (static_cast<event_id>(generation) << 32) | index;
+    }
+
+    bool stale(const entry& e) const noexcept {
+        return slots_[e.slot].generation != e.generation;
+    }
+
+    /// Return a slot to the free list and invalidate outstanding ids.
+    void release_slot(std::uint32_t index);
+
+    /// Pop stale entries off the heap top.
     void drop_cancelled();
 
-    std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
-    std::vector<std::function<void()>> actions_;  // indexed by id
-    std::vector<bool> cancelled_;
+    /// Rebuild the heap without stale entries once they dominate.
+    void maybe_compact();
+
+    std::vector<entry> heap_;  ///< std::push_heap/pop_heap, min at front
+    std::vector<slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
     std::uint64_t next_sequence_ = 0;
     std::size_t pending_ = 0;
+    std::size_t stale_in_heap_ = 0;
 };
 
 }  // namespace csense::sim

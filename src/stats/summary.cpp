@@ -7,6 +7,17 @@
 
 namespace csense::stats {
 
+double jain_index(std::span<const double> throughputs) noexcept {
+    double sum = 0.0, sum_sq = 0.0;
+    for (double x : throughputs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq <= 0.0) return 1.0;
+    const double n = static_cast<double>(throughputs.size());
+    return (sum * sum) / (n * sum_sq);
+}
+
 void running_summary::add(double x) noexcept {
     if (count_ == 0) {
         min_ = max_ = x;

@@ -4,8 +4,15 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 namespace csense::stats {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over a set of
+/// throughputs: 1 = perfectly fair, 1/n = one receiver takes all.
+/// Returns 1 for empty or all-zero inputs (a silent network is not
+/// unfair). Shared by the fairness analysis and the many-pair runs.
+double jain_index(std::span<const double> throughputs) noexcept;
 
 /// Single-pass running mean / variance / extrema accumulator.
 class running_summary {

@@ -5,6 +5,7 @@
 
 #include "src/capacity/rate_table.hpp"
 #include "src/mac/network.hpp"
+#include "src/sim/campaign.hpp"
 #include "src/stats/rng.hpp"
 
 namespace csense::testbed {
@@ -91,7 +92,6 @@ experiment_result run_experiment(const testbed& bed,
 
     const auto& rates = capacity::thesis_sweep_rates();
     const double duration_us = config.duration_s * 1e6;
-    stats::rng picker(config.seed);
 
     experiment_result result;
     double category_snr_sum = 0.0;
@@ -101,7 +101,17 @@ experiment_result run_experiment(const testbed& bed,
     result.category_snr_db =
         category_snr_sum / static_cast<double>(candidates.size());
 
-    for (int run = 0; run < config.runs; ++run) {
+    // Each run is one independent replication: its pair sampling and
+    // every simulation inside it draw only from the run's own split RNG
+    // stream, so runs shard over the campaign layer with results placed
+    // by run index (identical for every thread count).
+    sim::campaign_options campaign;
+    campaign.replications = static_cast<std::size_t>(config.runs);
+    campaign.shard_size = 1;  // one packet-level run is plenty per task
+    campaign.threads = config.threads;
+    campaign.seed = config.seed;
+    result.runs = sim::run_replications<run_result>(campaign, [&](
+        std::size_t run, stats::rng& picker) {
         // Sample two node-disjoint links from the category. When
         // stratifying, aim each run at a target sender-sender RSSI so the
         // ensemble covers the near / transition / far axis the way the
@@ -187,8 +197,8 @@ experiment_result run_experiment(const testbed& bed,
                 r.cs_pps = best_p1 + best_p2;
             }
         }
-        result.runs.push_back(r);
-    }
+        return r;
+    });
 
     for (const auto& r : result.runs) {
         result.avg_mux += r.mux_pps;

@@ -33,6 +33,11 @@ struct experiment_config {
     bool stratify_rssi = true;
     double rssi_strata_lo_db = -5.0;
     double rssi_strata_hi_db = 35.0;
+    /// Worker threads for sharding runs over the campaign layer
+    /// (src/sim/campaign.hpp). 0 = auto; purely a wall-clock knob -
+    /// every run draws from its own split RNG stream, so results are
+    /// identical for every value.
+    int threads = 0;
 };
 
 /// One competing-pairs measurement (one column of Figure 10/12).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/mac/network.hpp"
+#include "src/sim/campaign.hpp"
 #include "src/stats/rng.hpp"
 
 namespace csense::testbed {
@@ -25,10 +26,23 @@ exposed_gain_result run_exposed_gain_experiment(
     }
     const auto& rates = capacity::thesis_sweep_rates();
     const double duration_us = config.duration_s * 1e6;
-    stats::rng picker(config.seed);
 
-    exposed_gain_result result;
-    for (int run = 0; run < config.runs; ++run) {
+    // One run = one replication on the campaign layer: pair selection
+    // and the simulations inside draw only from the run's split stream,
+    // so runs shard across workers with thread-count-invariant results.
+    struct run_gains {
+        double base_cs = 0.0;
+        double base_exposed = 0.0;
+        double adapted_cs = 0.0;
+        double adapted_exposed = 0.0;
+    };
+    sim::campaign_options campaign;
+    campaign.replications = static_cast<std::size_t>(config.runs);
+    campaign.shard_size = 1;
+    campaign.threads = config.threads;
+    campaign.seed = config.seed;
+    const auto runs = sim::run_replications<run_gains>(campaign, [&](
+        std::size_t run, stats::rng& picker) {
         link p1{}, p2{};
         int attempts = 0;
         do {
@@ -75,10 +89,20 @@ exposed_gain_result run_exposed_gain_experiment(
                 best_conc = best_p1 + best_p2;
             }
         }
-        result.base_cs += base_cs;
-        result.base_exposed += std::max(base_cs, base_conc);
-        result.adapted_cs += best_cs;
-        result.adapted_exposed += std::max(best_cs, best_conc);
+        run_gains gains_out;
+        gains_out.base_cs = base_cs;
+        gains_out.base_exposed = std::max(base_cs, base_conc);
+        gains_out.adapted_cs = best_cs;
+        gains_out.adapted_exposed = std::max(best_cs, best_conc);
+        return gains_out;
+    });
+
+    exposed_gain_result result;
+    for (const auto& r : runs) {
+        result.base_cs += r.base_cs;
+        result.base_exposed += r.base_exposed;
+        result.adapted_cs += r.adapted_cs;
+        result.adapted_exposed += r.adapted_exposed;
     }
     const auto n = static_cast<double>(config.runs);
     result.base_cs /= n;

@@ -76,9 +76,12 @@ TEST(BenchDeterminism, ThreadCountInvariantJson) {
     // The deterministic parallel engine (src/core/parallel.hpp) must
     // make --threads purely a wall-clock knob: 1 vs 4 workers produce
     // byte-identical JSON. fig07 drives the quadrature + threshold-sweep
-    // hot path end to end; fig05 adds the Monte Carlo U-statistic term.
+    // hot path end to end; fig05 adds the Monte Carlo U-statistic term;
+    // camp01 drives the campaign layer (src/sim/campaign.hpp) sharding
+    // whole packet-level simulations across workers.
     for (const char* filter : {"fig07_optimal_threshold",
-                               "fig05_cs_piecewise"}) {
+                               "fig05_cs_piecewise",
+                               "camp01_cumulative_interference"}) {
         // Fresh working directory per run so cwd-relative scenario
         // artifacts (the testbed cache) can never leak state from the
         // 1-thread run into the 4-thread run and mask a divergence.

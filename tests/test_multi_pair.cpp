@@ -1,0 +1,118 @@
+// Many-pair scenario engine: topology sampling, the analytic prediction,
+// and packet-level runs under cumulative interference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/capacity/rate_table.hpp"
+#include "src/mac/multi_pair.hpp"
+
+namespace {
+
+using namespace csense;
+using namespace csense::mac;
+
+multi_pair_config test_config(double duration_us = 3e5) {
+    multi_pair_config config;
+    config.rate = &capacity::rate_by_mbps(6.0);
+    config.duration_us = duration_us;
+    config.seed = 11;
+    return config;
+}
+
+TEST(MultiPair, TopologySamplingRespectsGeometry) {
+    stats::rng gen(5);
+    const auto topology = sample_multi_pair_topology(12, 200.0, 30.0, gen);
+    ASSERT_EQ(topology.pairs(), 12u);
+    for (std::size_t i = 0; i < topology.pairs(); ++i) {
+        const auto& s = topology.senders[i];
+        const auto& r = topology.receivers[i];
+        EXPECT_GE(s.x, 0.0);
+        EXPECT_LE(s.x, 200.0);
+        EXPECT_GE(s.y, 0.0);
+        EXPECT_LE(s.y, 200.0);
+        EXPECT_LE(std::hypot(s.x - r.x, s.y - r.y), 30.0 + 1e-9);
+    }
+}
+
+TEST(MultiPair, GainFollowsLogDistanceAndClampsBelowOneMeter) {
+    const auto config = test_config();
+    EXPECT_NEAR(config.gain_db(1.0), -47.0, 1e-12);
+    EXPECT_NEAR(config.gain_db(10.0), -47.0 - 30.0, 1e-9);   // alpha 3
+    EXPECT_NEAR(config.gain_db(100.0), -47.0 - 60.0, 1e-9);
+    EXPECT_NEAR(config.gain_db(0.01), config.gain_db(1.0), 1e-12);
+}
+
+TEST(MultiPair, PredictionMuxSharesAndInterferenceOrdering) {
+    // Two far-apart pairs: concurrency wins. The same two pairs stacked
+    // close together: TDMA wins and the cluster defers.
+    multi_pair_topology far;
+    far.senders = {{0.0, 0.0}, {500.0, 0.0}};
+    far.receivers = {{10.0, 0.0}, {510.0, 0.0}};
+    multi_pair_topology close = far;
+    close.senders[1] = {30.0, 0.0};
+    close.receivers[1] = {40.0, 0.0};
+
+    const auto config = test_config();
+    const auto far_pred = predict_multi_pair(far, config);
+    const auto close_pred = predict_multi_pair(close, config);
+    EXPECT_GT(far_pred.concurrent, far_pred.multiplexing);
+    EXPECT_FALSE(far_pred.cs_defers);
+    EXPECT_LT(close_pred.concurrent, close_pred.multiplexing);
+    EXPECT_TRUE(close_pred.cs_defers);
+    // TDMA per-pair share halves with two pairs on clean links.
+    EXPECT_NEAR(far_pred.multiplexing, 0.5 * far_pred.concurrent, 0.05);
+}
+
+TEST(MultiPair, RunDeliversAndIsDeterministic) {
+    stats::rng gen(17);
+    const auto topology = sample_multi_pair_topology(5, 150.0, 20.0, gen);
+    const auto config = test_config();
+    const auto a = run_multi_pair(topology, config);
+    const auto b = run_multi_pair(topology, config);
+    ASSERT_EQ(a.per_pair_pps.size(), 5u);
+    EXPECT_GT(a.total_pps, 0.0);
+    EXPECT_EQ(a.total_pps, b.total_pps);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.per_pair_pps[i], b.per_pair_pps[i]);
+    }
+    EXPECT_GE(a.jain_index(), 0.0);
+    EXPECT_LE(a.jain_index(), 1.0 + 1e-12);
+}
+
+TEST(MultiPair, CumulativeInterferenceDegradesDenseNetworks) {
+    // The same arena packed with more senders and carrier sense off:
+    // per-pair delivery must fall (the cumulative-interference effect
+    // pairwise models understate).
+    auto config = test_config();
+    config.sense = cs_mode::disabled;
+    stats::rng gen(23);
+    const auto sparse = sample_multi_pair_topology(3, 120.0, 20.0, gen);
+    stats::rng gen2(23);
+    const auto dense = sample_multi_pair_topology(16, 120.0, 20.0, gen2);
+    const auto sparse_run = run_multi_pair(sparse, config);
+    const auto dense_run = run_multi_pair(dense, config);
+    const double sparse_per_pair = sparse_run.total_pps / 3.0;
+    const double dense_per_pair = dense_run.total_pps / 16.0;
+    EXPECT_LT(dense_per_pair, sparse_per_pair);
+}
+
+TEST(MultiPair, RejectsBadArguments) {
+    stats::rng gen(1);
+    EXPECT_THROW(sample_multi_pair_topology(0, 100.0, 10.0, gen),
+                 std::invalid_argument);
+    EXPECT_THROW(sample_multi_pair_topology(4, -1.0, 10.0, gen),
+                 std::invalid_argument);
+    multi_pair_topology topology;
+    EXPECT_THROW(run_multi_pair(topology, test_config()),
+                 std::invalid_argument);
+    topology.senders = {{0.0, 0.0}};
+    topology.receivers = {{5.0, 0.0}};
+    auto config = test_config();
+    config.rate = nullptr;
+    EXPECT_THROW(run_multi_pair(topology, config), std::invalid_argument);
+    EXPECT_THROW(predict_multi_pair(multi_pair_topology{}, test_config()),
+                 std::invalid_argument);
+}
+
+}  // namespace

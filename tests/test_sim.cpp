@@ -125,6 +125,71 @@ TEST(Simulator, CascadedEventsRunAll) {
     EXPECT_DOUBLE_EQ(sim.now(), 100.0);
 }
 
+TEST(EventQueue, BoundedMemoryOverLongRuns) {
+    // Regression for the append-only store: scheduling ~1M events over
+    // the queue's lifetime must not grow internal state linearly. With at
+    // most 8 events pending at once, the slot table stays at the pending
+    // high-water mark and the heap stays O(pending).
+    event_queue q;
+    std::uint64_t fired = 0;
+    double t = 0.0;
+    for (int wave = 0; wave < 125'000; ++wave) {
+        for (int i = 0; i < 8; ++i) {
+            q.schedule(t + i, [&fired] { ++fired; });
+        }
+        while (!q.empty()) t = q.run_next();
+        t += 1.0;
+    }
+    EXPECT_EQ(fired, 1'000'000u);
+    EXPECT_LE(q.slot_count(), 8u);
+    EXPECT_LE(q.heap_size(), 8u);
+}
+
+TEST(EventQueue, CancelHeavyHeapStaysCompacted) {
+    // The MAC's timer pattern: schedule far in the future, cancel,
+    // reschedule. Cancelled entries cannot be popped off the heap top
+    // (their times never surface), so only compaction bounds the heap.
+    event_queue q;
+    q.schedule(1e12, [] {});  // one live far-future event
+    for (int i = 0; i < 200'000; ++i) {
+        const auto id = q.schedule(1e9 + i, [] {});
+        ASSERT_TRUE(q.cancel(id));
+    }
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_LE(q.slot_count(), 4u);    // the cancelled slot is recycled
+    EXPECT_LE(q.heap_size(), 256u);   // stale entries were compacted away
+    EXPECT_DOUBLE_EQ(q.next_time(), 1e12);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseIsSafe) {
+    // An id from a fired/cancelled event must never cancel the slot's
+    // next occupant (generation tag regression).
+    event_queue q;
+    bool first = false, second = false;
+    const auto a = q.schedule(1.0, [&] { first = true; });
+    q.run_next();  // fires `a`, freeing its slot
+    const auto b = q.schedule(2.0, [&] { second = true; });
+    EXPECT_NE(a, b);           // reused slot, new generation
+    EXPECT_FALSE(q.cancel(a)); // stale id is a no-op...
+    EXPECT_EQ(q.size(), 1u);   // ...and the new event survives
+    q.run_next();
+    EXPECT_TRUE(first);
+    EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, CancelledSlotReuseKeepsOrdering) {
+    // Cancelling and reusing slots must not disturb the time/insertion
+    // ordering contract.
+    event_queue q;
+    std::vector<int> order;
+    const auto a = q.schedule(5.0, [&] { order.push_back(-1); });
+    q.schedule(10.0, [&] { order.push_back(2); });
+    q.cancel(a);
+    q.schedule(5.0, [&] { order.push_back(1); });  // reuses a's slot
+    while (!q.empty()) q.run_next();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(Simulator, DeterministicReplay) {
     auto run = [] {
         simulator sim;
