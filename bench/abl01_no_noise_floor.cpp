@@ -11,9 +11,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(abl01_no_noise_floor,
+CSENSE_SCENARIO_EX(abl01_no_noise_floor,
                 "Ablation A1: optimal threshold and regime with the noise "
-                "floor removed") {
+                "floor removed",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("Ablation A1 - removing the noise floor",
                         "optimal threshold and regime vs Rmax, with the "
                         "thesis' N = -65 dB versus a negligible floor");

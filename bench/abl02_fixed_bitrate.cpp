@@ -12,9 +12,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(abl02_fixed_bitrate,
+CSENSE_SCENARIO_EX(abl02_fixed_bitrate,
                 "Ablation A2: adaptive (Shannon) vs fixed-bitrate carrier "
-                "sense efficiency") {
+                "sense efficiency",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("Ablation A2 - adaptive (Shannon) vs fixed bitrate",
                         "sigma = 0, Rmax = 55; fixed-rate capacity is "
                         "rate * 1{SINR >= requirement}");

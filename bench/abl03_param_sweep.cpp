@@ -13,9 +13,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(abl03_param_sweep,
+CSENSE_SCENARIO_EX(abl03_param_sweep,
                 "Ablation A3: carrier-sense efficiency across alpha x sigma "
-                "environments") {
+                "environments",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Ablation A3 - alpha x sigma robustness sweep",
                         "CS efficiency with the factory threshold (55 at "
                         "alpha = 3), at the equivalent sensed power per "

@@ -12,8 +12,9 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(abl04_fairness,
-                "Ablation A4: fairness and starvation across regimes") {
+CSENSE_SCENARIO_EX(abl04_fairness,
+                "Ablation A4: fairness and starvation across regimes",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Ablation A4 - fairness across regimes",
                         "short range: no one starves at any D; long range: "
                         "a small nearby fraction is smothered once "

@@ -21,9 +21,13 @@ namespace {
 constexpr double factory_d_thresh = 55.0;
 }
 
-CSENSE_SCENARIO(abl05_multi_sender,
+CSENSE_SCENARIO_EX(abl05_multi_sender,
                 "Ablation A5: carrier sense with n = 2..5 competing "
-                "senders") {
+                "senders",
+                   bench::runtime_tier::medium,
+                   "CSENSE_FAST trims the Monte-Carlo sample budget; one "
+                   "shared threshold sweep feeds both the factory and tuned "
+                   "rows") {
     bench::print_header("Ablation A5 - carrier sense with n = 2..5 senders",
                         "per-pair CS efficiency vs the binary-choice genie; "
                         "alpha = 3, sigma = 8 dB, D_thresh = 55");

@@ -63,9 +63,13 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
 
 }  // namespace
 
-CSENSE_SCENARIO(camp01_cumulative_interference,
+CSENSE_SCENARIO_EX(camp01_cumulative_interference,
                 "Campaign C1: random many-pair topologies under cumulative "
-                "interference, model vs simulation") {
+                "interference, model vs simulation",
+                   bench::runtime_tier::slow,
+                   "CSENSE_FAST caps replications at 5 and run length at 0.3 s "
+                   "(metrics only, no gate); --threads shards whole "
+                   "packet-level replications") {
     bench::print_header(
         "Campaign C1 - cumulative interference, N = 5/10/20 pairs",
         "random planar topologies; packet-level DCF vs the Shannon "

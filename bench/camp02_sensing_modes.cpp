@@ -51,9 +51,12 @@ const char* mode_name(int index) {
 
 }  // namespace
 
-CSENSE_SCENARIO(camp02_sensing_modes,
+CSENSE_SCENARIO_EX(camp02_sensing_modes,
                 "Campaign C2: energy vs preamble sensing with 10 competing "
-                "pairs (chain-collision pathology)") {
+                "pairs (chain-collision pathology)",
+                   bench::runtime_tier::slow,
+                   "CSENSE_FAST caps replications and run length; --threads "
+                   "shards replications") {
     bench::print_header(
         "Campaign C2 - sensing modes, N = 10 pairs",
         "same random topologies replayed under all four cs_modes; "

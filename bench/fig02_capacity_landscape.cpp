@@ -52,9 +52,10 @@ void show(const char* title, const std::vector<double>& values) {
 
 }  // namespace
 
-CSENSE_SCENARIO(fig02_capacity_landscape,
+CSENSE_SCENARIO_EX(fig02_capacity_landscape,
                 "Figure 2: capacity landscape C_i(r, theta) vs receiver "
-                "position") {
+                "position",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("Figure 2 - capacity landscape C_i(r, theta)",
                         "alpha = 3, sigma = 0, P0/N0 = 65 dB; capacity as a "
                         "function of receiver position");

@@ -11,8 +11,9 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig03_preference_regions,
-                "Figure 3: receiver preference regions at D = 20, 55, 120") {
+CSENSE_SCENARIO_EX(fig03_preference_regions,
+                "Figure 3: receiver preference regions at D = 20, 55, 120",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("Figure 3 - receiver preference regions",
                         "alpha = 3, sigma = 0; interferer on the -x axis; "
                         "'#' prefers concurrency, '.' multiplexing, ' ' "

@@ -11,9 +11,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig04_throughput_curves,
+CSENSE_SCENARIO_EX(fig04_throughput_curves,
                 "Figure 4: average MAC throughput vs inter-sender distance "
-                "(sigma = 0)") {
+                "(sigma = 0)",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Figure 4 - average MAC throughput curves (sigma = 0)",
                         "normalized to Rmax = 20, D = inf; optimal converges "
                         "to multiplexing at small D and concurrency at large D");

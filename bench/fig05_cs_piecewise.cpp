@@ -9,8 +9,11 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig05_cs_piecewise,
-                "Figure 5: carrier-sense piecewise curve at Rmax = 55") {
+CSENSE_SCENARIO_EX(fig05_cs_piecewise,
+                "Figure 5: carrier-sense piecewise curve at Rmax = 55",
+                   bench::runtime_tier::medium,
+                   "the opt_at_3rmax_norm metric carries the Monte-Carlo "
+                   "U-statistic term (seed-sensitive)") {
     bench::print_header("Figure 5 - carrier sense piecewise curve, Rmax = 55",
                         "sigma = 0; CS follows multiplexing left of the "
                         "threshold and concurrency right of it");

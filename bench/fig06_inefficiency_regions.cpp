@@ -11,9 +11,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig06_inefficiency_regions,
+CSENSE_SCENARIO_EX(fig06_inefficiency_regions,
                 "Figure 6: exposed/hidden inefficiency decomposition at "
-                "Rmax = 55") {
+                "Rmax = 55",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Figure 6 - inefficiency decomposition, Rmax = 55",
                         "sigma = 0; gaps integrate optimal-minus-CS over D "
                         "on each side of the threshold");

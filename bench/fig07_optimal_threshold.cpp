@@ -13,9 +13,12 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig07_optimal_threshold,
+CSENSE_SCENARIO_EX(fig07_optimal_threshold,
                 "Figure 7: optimal threshold vs network radius for alpha "
-                "2..4") {
+                "2..4",
+                   bench::runtime_tier::medium,
+                   "threshold sweeps reuse the per-engine <C_conc> memo; "
+                   "--threads parallelizes the quadrature") {
     bench::print_header("Figure 7 - optimal threshold vs network radius",
                         "sigma = 8 dB; thresholds expressed as the "
                         "equivalent distance at alpha = 3");

@@ -11,9 +11,10 @@
 using namespace csense;
 using namespace csense::propagation;
 
-CSENSE_SCENARIO(fig08_barrier_paths,
+CSENSE_SCENARIO_EX(fig08_barrier_paths,
                 "Figure 8: propagation pathways past a barrier (why hidden "
-                "terminals are hard to build)") {
+                "terminals are hard to build)",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("Figure 8 - propagation pathways past a barrier",
                         "why hidden-terminal configurations are hard to "
                         "build: every leakage path, quantified");

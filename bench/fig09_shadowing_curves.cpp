@@ -10,9 +10,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig09_shadowing_curves,
+CSENSE_SCENARIO_EX(fig09_shadowing_curves,
                 "Figure 9: throughput curves with 8 dB shadowing vs the "
-                "sigma = 0 reference") {
+                "sigma = 0 reference",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Figure 9 - throughput curves with 8 dB shadowing",
                         "solid model sigma = 8 dB vs sigma = 0 reference; "
                         "normalized to sigma = 0 Rmax = 20, D = inf");

@@ -9,9 +9,12 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig10_short_scatter,
+CSENSE_SCENARIO_EX(fig10_short_scatter,
                 "Figure 10: short-range competitive comparison vs carrier "
-                "sense") {
+                "sense",
+                   bench::runtime_tier::slow,
+                   "writes the short-range testbed ensemble cache in "
+                   "./csense_bench_cache (keyed by config + seed)") {
     bench::print_header("Figure 10 - short range competitive comparison vs CS",
                         "pairs with >= 94% delivery at 6 Mb/s; mux and conc "
                         "totals vs the CS total per run");

@@ -8,8 +8,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig11_short_rssi,
-                "Figure 11: short-range throughput vs sender-sender RSSI") {
+CSENSE_SCENARIO_EX(fig11_short_rssi,
+                "Figure 11: short-range throughput vs sender-sender RSSI",
+                   bench::runtime_tier::slow,
+                   "reuses the fig10 ensemble cache; fast when warm") {
     bench::print_header("Figure 11 - short range throughput vs sender RSSI",
                         "same dataset as Figure 10, plotted against the "
                         "metric carrier sense actually thresholds on");

@@ -8,9 +8,12 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig12_long_scatter,
+CSENSE_SCENARIO_EX(fig12_long_scatter,
                 "Figure 12: long-range competitive comparison vs carrier "
-                "sense") {
+                "sense",
+                   bench::runtime_tier::slow,
+                   "writes the long-range testbed ensemble cache in "
+                   "./csense_bench_cache") {
     bench::print_header("Figure 12 - long range competitive comparison vs CS",
                         "pairs with 80-95% delivery at 6 Mb/s");
     const auto data = bench::dataset(ctx, /*short_range=*/false);

@@ -9,8 +9,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig13_long_rssi,
-                "Figure 13: long-range throughput vs sender-sender RSSI") {
+CSENSE_SCENARIO_EX(fig13_long_rssi,
+                "Figure 13: long-range throughput vs sender-sender RSSI",
+                   bench::runtime_tier::slow,
+                   "reuses the fig12 ensemble cache; fast when warm") {
     bench::print_header("Figure 13 - long range throughput vs sender RSSI",
                         "transition sits lower than short range and consists "
                         "mainly of hidden-terminal-style concurrency");

@@ -12,9 +12,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fig14_propagation_fit,
+CSENSE_SCENARIO_EX(fig14_propagation_fit,
                 "Figure 14: 2.4 GHz propagation survey with censored ML "
-                "path-loss fit") {
+                "path-loss fit",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("Figure 14 - propagation survey and ML fit (2.4 GHz)",
                         "SNR vs distance for all pairs; censored-ML fit with "
                         "+-1 sigma bounds; paper: alpha 3.6, sigma 10.4 dB");

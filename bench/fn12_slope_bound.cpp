@@ -10,8 +10,9 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(fn12_slope_bound,
-                "Footnote 12: concurrency-curve slope bound 1.37 / Rmax") {
+CSENSE_SCENARIO_EX(fn12_slope_bound,
+                "Footnote 12: concurrency-curve slope bound 1.37 / Rmax",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Footnote 12 - concurrency curve slope bound",
                         "max_D d<C_conc>/dD for D > Rmax, normalized; bound "
                         "is 1.37 / Rmax");

@@ -3,6 +3,9 @@
 // binary:
 //
 //   csense_bench --list                  enumerate scenarios
+//   csense_bench --list-markdown         emit the docs/scenarios.md
+//                                        catalog (name, description,
+//                                        runtime tier, knobs) to stdout
 //   csense_bench                         run everything
 //   csense_bench --filter 'fig*'         run the figure scenarios
 //   csense_bench --seed 1234             base seed for all RNG
@@ -34,6 +37,7 @@ using csense::bench::scenario;
 
 struct options {
     bool list = false;
+    bool list_markdown = false;
     bool timings = true;
     std::uint64_t seed = 7;
     int threads = 0;
@@ -43,9 +47,9 @@ struct options {
 
 void print_usage(std::FILE* out) {
     std::fprintf(out,
-                 "usage: csense_bench [--list] [--filter <glob>] "
-                 "[--seed <n>] [--threads <n>] [--json <path>] "
-                 "[--no-timings]\n");
+                 "usage: csense_bench [--list] [--list-markdown] "
+                 "[--filter <glob>] [--seed <n>] [--threads <n>] "
+                 "[--json <path>] [--no-timings]\n");
 }
 
 bool parse_args(int argc, char** argv, options& opts) {
@@ -60,6 +64,8 @@ bool parse_args(int argc, char** argv, options& opts) {
         };
         if (arg == "--list" || arg == "-l") {
             opts.list = true;
+        } else if (arg == "--list-markdown") {
+            opts.list_markdown = true;
         } else if (arg == "--filter" || arg == "-f") {
             const char* v = value("--filter");
             if (v == nullptr) return false;
@@ -126,6 +132,13 @@ std::vector<const scenario*> select(const std::string& filter) {
 int main(int argc, char** argv) {
     options opts;
     if (!parse_args(argc, argv, opts)) return 2;
+
+    if (opts.list_markdown) {
+        // The catalog always covers the whole registry (ignoring
+        // --filter) so docs/scenarios.md is complete by construction.
+        std::fputs(csense::bench::markdown_catalog().c_str(), stdout);
+        return 0;
+    }
 
     const auto selected = select(opts.filter);
     if (selected.empty()) {

@@ -202,9 +202,12 @@ BENCHMARK(bm_dcf_simulated_second)
 
 }  // namespace
 
-CSENSE_SCENARIO(perf_micro,
+CSENSE_SCENARIO_EX(perf_micro,
                 "Microbenchmarks for the numerical and simulation hot paths "
-                "(google-benchmark)") {
+                "(google-benchmark)",
+                   bench::runtime_tier::slow,
+                   "drives google-benchmark in-process; JSON doubles as the CI "
+                   "perf artifact (BENCH_ci)") {
     csense::bench::print_header(
         "perf_micro - hot path microbenchmarks",
         "point capacities, disc quadrature, shadowed expectations, the "

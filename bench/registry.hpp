@@ -1,9 +1,11 @@
 // The bench scenario registry. Every reproduction artifact (figure,
-// table, ablation, microbenchmark) is one scenario: a named function that
-// prints its human-readable output and records headline numbers into the
-// run's JSON document. Scenarios self-register at static-initialisation
-// time via CSENSE_SCENARIO, and the csense_bench driver selects them with
-// --list / --filter.
+// table, ablation, campaign, microbenchmark) is one scenario: a named
+// function that prints its human-readable output and records headline
+// numbers into the run's JSON document. Scenarios self-register at
+// static-initialisation time via CSENSE_SCENARIO / CSENSE_SCENARIO_EX,
+// and the csense_bench driver selects them with --list / --filter.
+// --list-markdown renders the whole registry as the docs/scenarios.md
+// catalog (name, description, runtime tier, scenario-specific knobs).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,18 @@
 #include "src/report/json.hpp"
 
 namespace csense::bench {
+
+/// Coarse full-accuracy (no CSENSE_FAST) single-thread runtime class,
+/// for the scenario catalog. Boundaries: fast < 1 s, medium 1-30 s,
+/// slow > 30 s on a current x86 core.
+enum class runtime_tier {
+    fast,
+    medium,
+    slow,
+};
+
+/// Stable lower-case name ("fast" / "medium" / "slow").
+std::string_view tier_name(runtime_tier tier);
 
 /// Per-run state handed to each scenario.
 struct scenario_context {
@@ -41,11 +55,18 @@ using scenario_fn = int (*)(scenario_context&);
 struct scenario {
     std::string name;         ///< e.g. "fig05_cs_piecewise"
     std::string description;  ///< one line for --list
+    std::string knobs;        ///< scenario-specific knobs beyond the
+                              ///< global --seed/--threads/CSENSE_FAST;
+                              ///< empty = none
+    runtime_tier tier = runtime_tier::medium;
     scenario_fn run = nullptr;
 };
 
-/// Registers a scenario; called by the CSENSE_SCENARIO macro.
+/// Registers a scenario; called by the CSENSE_SCENARIO macros.
 bool register_scenario(std::string_view name, std::string_view description,
+                       scenario_fn fn);
+bool register_scenario(std::string_view name, std::string_view description,
+                       std::string_view knobs, runtime_tier tier,
                        scenario_fn fn);
 
 /// All registered scenarios, sorted by name (stable across link order).
@@ -54,18 +75,40 @@ const std::vector<scenario>& scenarios();
 /// Case-sensitive glob match supporting '*' and '?'.
 bool glob_match(std::string_view pattern, std::string_view text);
 
-/// Defines and registers a scenario. Usage:
-///   CSENSE_SCENARIO(fig05_cs_piecewise, "Figure 5 - ...") {
+/// Renders the registry as the docs/scenarios.md catalog: a generated
+/// preamble, the global-knob table, and one row per scenario with its
+/// runtime tier and scenario-specific knobs. Deterministic byte-for-byte
+/// for a fixed registry (`cmake --build build --target docs_scenarios`
+/// regenerates the checked-in file; CI diffs it).
+std::string markdown_catalog();
+
+/// Defines and registers a scenario with catalog metadata. The tier is
+/// a normal expression (qualify it as visibility requires). Usage:
+///   CSENSE_SCENARIO_EX(fig05_cs_piecewise, "Figure 5 - ...",
+///                      bench::runtime_tier::medium,
+///                      "knob notes or \"\"") {
 ///       ...use ctx...
 ///       return 0;
 ///   }
-#define CSENSE_SCENARIO(ident, desc)                                       \
-    static int csense_scenario_##ident(                                    \
-        [[maybe_unused]] ::csense::bench::scenario_context& ctx);          \
-    [[maybe_unused]] static const bool csense_scenario_reg_##ident =       \
-        ::csense::bench::register_scenario(#ident, desc,                   \
-                                           &csense_scenario_##ident);      \
-    static int csense_scenario_##ident(                                    \
+#define CSENSE_SCENARIO_EX(ident, desc, tier, knobs)                        \
+    static int csense_scenario_##ident(                                     \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx);           \
+    [[maybe_unused]] static const bool csense_scenario_reg_##ident =        \
+        ::csense::bench::register_scenario(#ident, desc, knobs, tier,       \
+                                           &csense_scenario_##ident);       \
+    static int csense_scenario_##ident(                                     \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx)
+
+/// Defines and registers a scenario with default metadata (medium tier,
+/// no scenario-specific knobs). Prefer CSENSE_SCENARIO_EX for anything
+/// that should document itself in the catalog.
+#define CSENSE_SCENARIO(ident, desc)                                        \
+    static int csense_scenario_##ident(                                     \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx);           \
+    [[maybe_unused]] static const bool csense_scenario_reg_##ident =        \
+        ::csense::bench::register_scenario(#ident, desc,                    \
+                                           &csense_scenario_##ident);       \
+    static int csense_scenario_##ident(                                     \
         [[maybe_unused]] ::csense::bench::scenario_context& ctx)
 
 }  // namespace csense::bench

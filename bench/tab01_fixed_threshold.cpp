@@ -14,9 +14,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(tab01_fixed_threshold,
+CSENSE_SCENARIO_EX(tab01_fixed_threshold,
                 "Table 1: carrier-sense efficiency with the fixed factory "
-                "threshold 55") {
+                "threshold 55",
+                   bench::runtime_tier::medium, "") {
     bench::print_header("Table 1 (S3.2.5) - CS efficiency, fixed threshold 55",
                         "alpha = 3, sigma = 8 dB; entries are "
                         "<C_cs>/<C_max>; paper values in parentheses");

@@ -13,9 +13,12 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(tab02_tuned_threshold,
+CSENSE_SCENARIO_EX(tab02_tuned_threshold,
                 "Table 2: carrier-sense efficiency with per-scenario tuned "
-                "thresholds") {
+                "thresholds",
+                   bench::runtime_tier::medium,
+                   "per-row thresholds solved by the S3.3.3 crossing criterion "
+                   "at high accuracy") {
     bench::print_header("Table 2 (S3.2.5) - CS efficiency, tuned thresholds",
                         "alpha = 3, sigma = 8 dB; per-row optimal threshold; "
                         "paper values in parentheses");

@@ -7,8 +7,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(tab03_short_summary,
-                "Table 3: short-range ensemble averages per strategy") {
+CSENSE_SCENARIO_EX(tab03_short_summary,
+                "Table 3: short-range ensemble averages per strategy",
+                   bench::runtime_tier::slow,
+                   "reuses the short-range ensemble cache; fast when warm") {
     bench::print_header("Table 3 (S4.1) - short range ensemble averages",
                         "average throughput over all runs; paper's absolute "
                         "pkt/s depend on their hardware, the ratios are the "

@@ -7,8 +7,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(tab04_long_summary,
-                "Table 4: long-range ensemble averages per strategy") {
+CSENSE_SCENARIO_EX(tab04_long_summary,
+                "Table 4: long-range ensemble averages per strategy",
+                   bench::runtime_tier::slow,
+                   "reuses the long-range ensemble cache; fast when warm") {
     bench::print_header("Table 4 (S4.2) - long range ensemble averages",
                         "average throughput over all runs; ratios are the "
                         "reproduction target");

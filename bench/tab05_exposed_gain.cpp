@@ -12,9 +12,12 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(tab05_exposed_gain,
+CSENSE_SCENARIO_EX(tab05_exposed_gain,
                 "Table 5: exposed-terminal exploitation vs bitrate "
-                "adaptation") {
+                "adaptation",
+                   bench::runtime_tier::slow,
+                   "runs the exposed-terminal testbed ensemble; cached like "
+                   "the other testbed scenarios") {
     bench::print_header("Table 5 (S5) - exposed terminals vs bitrate adaptation",
                         "short-range ensemble; 'exposed exploitation' = best "
                         "of CS / pure concurrency per run");

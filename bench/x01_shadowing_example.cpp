@@ -11,9 +11,10 @@
 
 using namespace csense;
 
-CSENSE_SCENARIO(x01_shadowing_example,
+CSENSE_SCENARIO_EX(x01_shadowing_example,
                 "S3.4 worked example: shadowing-induced carrier-sense "
-                "mistakes") {
+                "mistakes",
+                   bench::runtime_tier::fast, "") {
     bench::print_header("S3.4 worked example - shadowing-induced CS mistakes",
                         "Rmax = 20, D_thresh = 40, interferer apparent at "
                         "D = 20, sigma = 8 dB");

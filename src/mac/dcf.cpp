@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/propagation/units.hpp"
+
 namespace csense::mac {
 
 using capacity::ofdm_timing;
@@ -20,6 +22,7 @@ dcf_node::dcf_node(sim::simulator& sim, medium& med, mac_config config,
     if (config_.cw_min < 1 || config_.cw_max < config_.cw_min) {
         throw std::invalid_argument("dcf_node: bad contention window");
     }
+    last_external_power_dbm_ = med.radio().noise_floor_dbm;
 }
 
 void dcf_node::set_traffic(traffic_mode mode, node_id destination,
@@ -243,17 +246,63 @@ void dcf_node::note_unicast_outcome(bool delivered) {
     }
 }
 
-void dcf_node::on_channel_update(double external_power_dbm) {
-    const double threshold =
-        medium_.radio().cs_threshold_dbm + config_.cs_threshold_offset_db;
-    const bool busy = external_power_dbm >= threshold;
-    if (busy != energy_busy_) {
-        energy_busy_ = busy;
-        if (busy && state_ == state::contending && difs_done_) {
-            ++stats_.defer_events;
-        }
-        reevaluate();
+double dcf_node::cs_threshold_dbm() const {
+    return cs_threshold_override_dbm_.has_value()
+               ? *cs_threshold_override_dbm_
+               : medium_.radio().cs_threshold_dbm +
+                     config_.cs_threshold_offset_db;
+}
+
+void dcf_node::set_cs_threshold_dbm(double threshold_dbm) {
+    cs_threshold_override_dbm_ = threshold_dbm;
+    apply_energy_busy(last_external_power_dbm_ >= threshold_dbm);
+}
+
+sim::time_us dcf_node::energy_busy_time_us() const {
+    return busy_accum_us_ + (energy_busy_ ? sim_.now() - busy_since_ : 0.0);
+}
+
+double dcf_node::external_power_integral_mw_us() const {
+    if (!config_.adapt.enabled()) return power_integral_mw_us_;  // stays 0
+    return power_integral_mw_us_ +
+           propagation::dbm_to_mw(last_external_power_dbm_) *
+               (sim_.now() - power_integral_mark_us_);
+}
+
+void dcf_node::account_external_power(double external_power_dbm) {
+    const sim::time_us now = sim_.now();
+    power_integral_mw_us_ +=
+        propagation::dbm_to_mw(last_external_power_dbm_) *
+        (now - power_integral_mark_us_);
+    power_integral_mark_us_ = now;
+    last_external_power_dbm_ = external_power_dbm;
+}
+
+void dcf_node::apply_energy_busy(bool busy) {
+    if (busy == energy_busy_) return;
+    const sim::time_us now = sim_.now();
+    if (busy) {
+        busy_since_ = now;
+    } else {
+        busy_accum_us_ += now - busy_since_;
     }
+    energy_busy_ = busy;
+    if (busy && state_ == state::contending && difs_done_) {
+        ++stats_.defer_events;
+    }
+    reevaluate();
+}
+
+void dcf_node::on_channel_update(double external_power_dbm) {
+    // The sensed-power integral feeds only the adaptive-CS controllers;
+    // skip its per-update dBm->mW conversion when this node does not
+    // adapt, so non-adaptive runs pay nothing in this hot callback.
+    if (config_.adapt.enabled()) {
+        account_external_power(external_power_dbm);
+    } else {
+        last_external_power_dbm_ = external_power_dbm;
+    }
+    apply_energy_busy(external_power_dbm >= cs_threshold_dbm());
 }
 
 void dcf_node::on_preamble(const frame&, double, sim::time_us until) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "src/capacity/rate_adaptation.hpp"
@@ -63,6 +64,30 @@ public:
     /// destination (static config or triggered heuristic).
     bool rts_active() const;
 
+    /// Effective energy-detection threshold in dBm: the adaptive
+    /// override when one is installed, else the radio default plus this
+    /// node's calibration offset.
+    double cs_threshold_dbm() const;
+
+    /// Install a per-node threshold override (the adaptive-carrier-sense
+    /// hook; see src/mac/adaptive_cs.hpp). The energy-busy state is
+    /// recomputed against the last observed external power immediately,
+    /// so a threshold step mid-backoff behaves exactly like a channel
+    /// power change.
+    void set_cs_threshold_dbm(double threshold_dbm);
+
+    /// Cumulative time this node's CCA has reported energy-busy, up to
+    /// the current simulation instant. Epoch deltas of this are the
+    /// busy-time-fraction input of the adaptive controllers.
+    sim::time_us energy_busy_time_us() const;
+
+    /// Time integral of the observed external power (mW x us) up to the
+    /// current instant. An epoch delta divided by the epoch length is
+    /// the mean sensed interference power (noise floor included). Only
+    /// accumulated while this node's adaptation is enabled
+    /// (mac_config::adapt) - non-adaptive nodes skip the bookkeeping.
+    double external_power_integral_mw_us() const;
+
     // medium_listener interface.
     void on_channel_update(double external_power_dbm) override;
     void on_preamble(const frame& f, double rx_power_dbm,
@@ -83,6 +108,8 @@ private:
 
     bool sense_enabled() const noexcept;
     bool channel_busy() const;
+    void account_external_power(double external_power_dbm);
+    void apply_energy_busy(bool busy);
     void reevaluate();
     void cancel_timer();
     void schedule_timer(sim::time_us delay, void (dcf_node::*handler)());
@@ -120,6 +147,16 @@ private:
     bool energy_busy_ = false;
     sim::time_us preamble_busy_until_ = 0.0;
     sim::time_us nav_until_ = 0.0;
+
+    // Adaptive carrier sense: per-node threshold override plus the
+    // busy-time and sensed-power accounting the controllers consume.
+    std::optional<double> cs_threshold_override_dbm_;
+    double last_external_power_dbm_ = -200.0;  ///< set to the noise floor
+                                               ///< at construction
+    sim::time_us busy_since_ = 0.0;
+    sim::time_us busy_accum_us_ = 0.0;
+    double power_integral_mw_us_ = 0.0;
+    sim::time_us power_integral_mark_us_ = 0.0;
 
     // Contention state.
     state state_ = state::idle;

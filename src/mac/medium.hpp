@@ -3,9 +3,9 @@
 //
 // Reception model (matching the thesis' §4 hardware notes):
 //  - a receiver locks onto a frame at preamble time if it is not
-//    transmitting, not already locked, the power exceeds the preamble
-//    sensitivity, and the instantaneous SINR exceeds the capture
-//    threshold;
+//    transmitting, not already locked, the received power exceeds the
+//    preamble sensitivity, and the instantaneous SINR exceeds the
+//    capture threshold (radio_config::preamble_capture_snr_db);
 //  - there is no receive abort: once locked, a stronger later frame is
 //    just interference (the thesis notes its testbed ran this way);
 //  - the frame decodes with probability 1 - PER evaluated at the worst

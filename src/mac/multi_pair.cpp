@@ -39,6 +39,21 @@ double multi_pair_config::gain_db(double dist_m) const {
     return -(reference_loss_db + 10.0 * alpha * std::log10(d));
 }
 
+double multi_pair_config::threshold_dbm_for_distance(double dist_m) const {
+    if (!(dist_m > 0.0)) {
+        throw std::invalid_argument("threshold_dbm_for_distance: dist_m");
+    }
+    return radio.tx_power_dbm + gain_db(dist_m);
+}
+
+double multi_pair_config::distance_for_threshold_dbm(
+    double threshold_dbm) const {
+    const double exponent =
+        (radio.tx_power_dbm - reference_loss_db - threshold_dbm) /
+        (10.0 * alpha);
+    return std::max(std::pow(10.0, exponent), 1.0);
+}
+
 namespace {
 
 double distance(const multi_pair_topology::position& a,
@@ -77,6 +92,7 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
     network net(config.radio, config.seed);
     mac_config sender_cfg;
     sender_cfg.sense = config.sense;
+    sender_cfg.adapt = config.adapt;  // the per-node adaptation hook
     mac_config receiver_cfg;  // receivers never transmit
     std::vector<node_id> senders(n), receivers(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -97,6 +113,22 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
             .set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
                          *config.rate, config.payload_bytes);
     }
+
+    // When adaptation is off, no manager exists and no epoch events are
+    // scheduled: the event stream - and therefore the run - is identical
+    // to one without any adaptation support.
+    std::unique_ptr<adaptive_cs_manager> adaptation;
+    if (config.adapt.enabled()) {
+        std::vector<adaptive_cs_link> links;
+        links.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            links.push_back({senders[i], receivers[i]});
+        }
+        adaptation = std::make_unique<adaptive_cs_manager>(
+            net, std::move(links),
+            stats::rng(config.seed).split("adaptive_cs").next());
+        adaptation->start();
+    }
     net.run(config.duration_us);
 
     multi_pair_result result;
@@ -110,6 +142,11 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
         result.total_pps += result.per_pair_pps[i];
     }
     result.counters = net.air().counters();
+    if (adaptation) {
+        result.final_cs_threshold_dbm = adaptation->thresholds_dbm();
+        result.mean_threshold_trajectory_dbm =
+            adaptation->mean_threshold_trajectory_dbm();
+    }
     return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "src/mac/adaptive_cs.hpp"
 #include "src/mac/network.hpp"
 #include "src/stats/rng.hpp"
 
@@ -50,8 +51,23 @@ struct multi_pair_config {
     double reference_loss_db = 47.0;  ///< loss at 1 m (5 GHz-ish)
     std::uint64_t seed = 1;
 
+    /// Per-sender closed-loop threshold adaptation; defaults to `fixed`
+    /// (off), in which case a run is byte-identical to one without any
+    /// adaptation support compiled in.
+    cs_adaptation_config adapt;
+
     /// Symmetric link gain for a node pair at distance `dist_m`.
     double gain_db(double dist_m) const;
+
+    /// The energy-detection threshold (dBm) at which a sender at
+    /// distance `dist_m` is exactly on the sensing edge: sensed power of
+    /// a transmitter that far away. Maps the analytic model's threshold
+    /// *distances* into the simulator's dBm units.
+    double threshold_dbm_for_distance(double dist_m) const;
+
+    /// Inverse of threshold_dbm_for_distance (clamped at 1 m, matching
+    /// gain_db's near-field clamp).
+    double distance_for_threshold_dbm(double threshold_dbm) const;
 };
 
 /// Delivered throughput of one simulated run.
@@ -59,6 +75,12 @@ struct multi_pair_result {
     std::vector<double> per_pair_pps;  ///< delivered pkt/s at receiver i
     double total_pps = 0.0;
     medium_counters counters;
+
+    /// Adaptive carrier sense only (empty when config.adapt is `fixed`):
+    /// each sender's threshold at the end of the run, and the
+    /// across-sender mean threshold after every adaptation epoch.
+    std::vector<double> final_cs_threshold_dbm;
+    std::vector<double> mean_threshold_trajectory_dbm;
 
     /// Jain's fairness index over the per-pair throughputs.
     double jain_index() const noexcept;

@@ -31,6 +31,88 @@ struct radio_config {
                                            ///< fading residue (lognormal dB)
 };
 
+/// How a node's closed-loop carrier-sense threshold controller moves
+/// `cs_threshold_dbm` between adaptation epochs (src/mac/adaptive_cs.hpp).
+enum class cs_adapt_policy {
+    fixed,                 ///< static threshold: adaptation machinery off
+    aimd,                  ///< additive raise while clean, multiplicative
+                           ///< (in dB) back-off on a loss signal
+    target_busy,           ///< integral control of the sensed busy-time
+                           ///< fraction to a set point
+    iterative_fixed_point, ///< online Kim & Kim balance: step the threshold
+                           ///< until the measured concurrent capacity
+                           ///< equals the fair TDMA share
+};
+
+/// Per-node knobs of the closed-loop threshold controller. All dB/dBm
+/// fields act on the node's *effective* energy-detection threshold (the
+/// dcf_node override that replaces radio_config::cs_threshold_dbm +
+/// mac_config::cs_threshold_offset_db once adaptation is enabled).
+struct cs_adaptation_config {
+    /// Which control law runs; `fixed` disables adaptation entirely (no
+    /// epoch events are scheduled, so a run is byte-identical to one
+    /// without any adaptation support).
+    cs_adapt_policy policy = cs_adapt_policy::fixed;
+
+    /// Adaptation epoch in microseconds: the controller samples its
+    /// EWMAs and moves the threshold once per epoch.
+    double epoch_us = 50'000.0;
+
+    /// Hard clamp for the adapted threshold, dBm. Every policy's output
+    /// is clamped to [min_threshold_dbm, max_threshold_dbm].
+    double min_threshold_dbm = -95.0;
+    double max_threshold_dbm = -60.0;  ///< see min_threshold_dbm
+
+    /// Weight of the newest epoch in the busy/loss/goodput/interference
+    /// EWMAs, in (0, 1]; 1 trusts each epoch alone.
+    double ewma_weight = 0.25;
+
+    /// target_busy: busy-time-fraction set point. The threshold moves by
+    /// busy_gain_db * (busy EWMA - busy_target) per epoch, so a channel
+    /// sensed busier than the target raises (deafens) the threshold.
+    /// <= 0 (the default) selects the density-aware auto rule
+    /// 1 - busy_idle_scale / contenders: with n saturated senders the
+    /// idle fraction at a well-tuned threshold shrinks like 1/n.
+    double busy_target = 0.0;
+
+    /// target_busy: idle-fraction scale of the auto set point (see
+    /// busy_target). Calibrated so the equilibrium threshold tracks the
+    /// offline-tuned optimum across densities.
+    double busy_idle_scale = 3.8;
+
+    /// target_busy: proportional gain, dB of threshold per unit of
+    /// busy-fraction error. Calibrated against camp03: larger gains
+    /// track faster but oscillate around the set point at high density.
+    double busy_gain_db = 6.0;
+
+    /// aimd: additive threshold increase per clean epoch, dB.
+    double ai_step_db = 0.5;
+
+    /// aimd: threshold decrease on a congested epoch, dB (multiplicative
+    /// in linear power).
+    double md_backoff_db = 3.0;
+
+    /// aimd: loss-rate EWMA above which an epoch counts as congested.
+    double loss_target = 0.15;
+
+    /// iterative_fixed_point: gain on the capacity-balance step, dB of
+    /// threshold per doubling of the concurrent/fair-share capacity
+    /// ratio. The balance compares the link's Shannon capacity against
+    /// the marginal admitted contender (sensed exactly at the current
+    /// threshold; the pairwise D >> r approximation) with the fair
+    /// half share, so the fixed point is the node-local analogue of the
+    /// offline concurrency/multiplexing crossing.
+    double fp_gain_db = 8.0;
+
+    /// Optional exploration dither, dB, drawn uniformly in
+    /// [-jitter_db/2, +jitter_db/2] from the node's split RNG stream
+    /// each epoch. 0 keeps every policy fully deterministic.
+    double jitter_db = 0.0;
+
+    /// True when the policy actually adapts (anything but `fixed`).
+    bool enabled() const noexcept { return policy != cs_adapt_policy::fixed; }
+};
+
 /// Per-node MAC behaviour.
 struct mac_config {
     cs_mode sense = cs_mode::energy_and_preamble;
@@ -44,6 +126,14 @@ struct mac_config {
                                     ///< when loss is high despite high RSSI
     double rts_loss_threshold = 0.4;   ///< loss EWMA that triggers RTS/CTS
     double rts_snr_threshold_db = 15.0;///< only if SNR is at least this
+
+    /// Closed-loop carrier-sense threshold adaptation (defaults to
+    /// `fixed`, i.e. off). adaptive_cs_manager reads this per-node
+    /// config to build the node's controller and drives the
+    /// dcf_node::set_cs_threshold_dbm override every epoch (multi-pair
+    /// runs copy multi_pair_config::adapt here and install the manager
+    /// automatically when the policy is enabled).
+    cs_adaptation_config adapt;
 };
 
 /// Control-frame sizes in bytes (802.11 MAC).

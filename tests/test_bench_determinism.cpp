@@ -78,10 +78,13 @@ TEST(BenchDeterminism, ThreadCountInvariantJson) {
     // byte-identical JSON. fig07 drives the quadrature + threshold-sweep
     // hot path end to end; fig05 adds the Monte Carlo U-statistic term;
     // camp01 drives the campaign layer (src/sim/campaign.hpp) sharding
-    // whole packet-level simulations across workers.
+    // whole packet-level simulations across workers; camp03 adds the
+    // per-node adaptive-CS controllers, whose dither streams are keyed
+    // by node index and must not depend on shard scheduling.
     for (const char* filter : {"fig07_optimal_threshold",
                                "fig05_cs_piecewise",
-                               "camp01_cumulative_interference"}) {
+                               "camp01_cumulative_interference",
+                               "camp03_adaptive_convergence"}) {
         // Fresh working directory per run so cwd-relative scenario
         // artifacts (the testbed cache) can never leak state from the
         // 1-thread run into the 4-thread run and mask a divergence.
@@ -104,6 +107,44 @@ TEST(BenchDeterminism, ThreadCountInvariantJson) {
         EXPECT_EQ(json_t1, read_file(t4))
             << filter << ": --threads must never change the output";
     }
+}
+
+TEST(BenchDeterminism, MarkdownCatalogIsStableAndComplete) {
+    // docs/scenarios.md is generated from --list-markdown (the
+    // docs_scenarios CMake target); two invocations must be
+    // byte-identical, and every scenario --list knows about must appear
+    // as a table row, or the checked-in catalog could silently go stale.
+    const std::string dir = ::testing::TempDir();
+    const std::string a = dir + "csense_catalog_a.md";
+    const std::string b = dir + "csense_catalog_b.md";
+    const std::string list = dir + "csense_list.txt";
+    ASSERT_EQ(std::system((std::string("\"") + CSENSE_BENCH_BINARY +
+                           "\" --list-markdown > \"" + a + "\"")
+                              .c_str()),
+              0);
+    ASSERT_EQ(std::system((std::string("\"") + CSENSE_BENCH_BINARY +
+                           "\" --list-markdown > \"" + b + "\"")
+                              .c_str()),
+              0);
+    const std::string catalog = read_file(a);
+    ASSERT_FALSE(catalog.empty());
+    EXPECT_EQ(catalog, read_file(b)) << "--list-markdown must be stable";
+
+    ASSERT_EQ(std::system((std::string("\"") + CSENSE_BENCH_BINARY +
+                           "\" --list > \"" + list + "\"")
+                              .c_str()),
+              0);
+    std::istringstream lines(read_file(list));
+    std::string line;
+    int scenarios = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '(') continue;
+        const std::string name = line.substr(0, line.find(' '));
+        ++scenarios;
+        EXPECT_NE(catalog.find("| `" + name + "` |"), std::string::npos)
+            << "scenario missing from the markdown catalog: " << name;
+    }
+    EXPECT_GE(scenarios, 30);
 }
 
 TEST(BenchDeterminism, DifferentSeedChangesMonteCarloMetrics) {
