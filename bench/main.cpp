@@ -8,6 +8,8 @@
 //                                        runtime tier, knobs) to stdout
 //   csense_bench                         run everything
 //   csense_bench --filter 'fig*'         run the figure scenarios
+//   csense_bench --filter 'fig*,camp05*' comma-separated glob list:
+//                                        run scenarios matching any glob
 //   csense_bench --seed 1234             base seed for all RNG
 //   csense_bench --threads 4             engine worker threads (0 = auto:
 //                                        CSENSE_THREADS env, else hardware;
@@ -15,8 +17,23 @@
 //   csense_bench --json out.json         machine-readable results/timings
 //   csense_bench --no-timings            omit wall-clock fields from the
 //                                        JSON (byte-identical reruns)
+//   csense_bench --repeat 3              run each scenario N times and
+//                                        record mean/min/max wall time
+//                                        per scenario in the JSON (perf
+//                                        baselines; metrics come from
+//                                        the last repetition and are
+//                                        identical across repetitions
+//                                        for a fixed seed; scenarios
+//                                        marked non-repeatable, i.e.
+//                                        perf_micro, run once; cached
+//                                        testbed scenarios reload
+//                                        ./csense_bench_cache/ on
+//                                        repetitions 2..N, so run them
+//                                        from a scratch dir for cold
+//                                        timings)
 //
 // Setting CSENSE_FAST=1 shrinks Monte Carlo / simulation budgets.
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -41,6 +58,7 @@ struct options {
     bool timings = true;
     std::uint64_t seed = 7;
     int threads = 0;
+    int repeat = 1;
     std::string filter = "*";
     std::string json_path;
 };
@@ -49,7 +67,7 @@ void print_usage(std::FILE* out) {
     std::fprintf(out,
                  "usage: csense_bench [--list] [--list-markdown] "
                  "[--filter <glob>] [--seed <n>] [--threads <n>] "
-                 "[--json <path>] [--no-timings]\n");
+                 "[--repeat <n>] [--json <path>] [--no-timings]\n");
 }
 
 bool parse_args(int argc, char** argv, options& opts) {
@@ -98,6 +116,20 @@ bool parse_args(int argc, char** argv, options& opts) {
                 return false;
             }
             opts.threads = static_cast<int>(n);
+        } else if (arg == "--repeat" || arg == "-r") {
+            const char* v = value("--repeat");
+            if (v == nullptr) return false;
+            errno = 0;
+            char* end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || errno == ERANGE || n < 1 ||
+                n > 1000) {
+                std::fprintf(stderr,
+                             "csense_bench: bad --repeat '%s' (need an "
+                             "integer in [1, 1000])\n", v);
+                return false;
+            }
+            opts.repeat = static_cast<int>(n);
         } else if (arg == "--json" || arg == "-j") {
             const char* v = value("--json");
             if (v == nullptr) return false;
@@ -118,10 +150,25 @@ bool parse_args(int argc, char** argv, options& opts) {
 }
 
 std::vector<const scenario*> select(const std::string& filter) {
+    // --filter takes a comma-separated glob list; a scenario is selected
+    // when any glob matches.
+    std::vector<std::string> globs;
+    std::size_t begin = 0;
+    while (begin <= filter.size()) {
+        const std::size_t comma = filter.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? filter.size() : comma;
+        if (end > begin) globs.push_back(filter.substr(begin, end - begin));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+    }
     std::vector<const scenario*> selected;
     for (const auto& s : csense::bench::scenarios()) {
-        if (csense::bench::glob_match(filter, s.name)) {
-            selected.push_back(&s);
+        for (const auto& glob : globs) {
+            if (csense::bench::glob_match(glob, s.name)) {
+                selected.push_back(&s);
+                break;
+            }
         }
     }
     return selected;
@@ -164,6 +211,7 @@ int main(int argc, char** argv) {
     doc["seed"] = opts.seed;
     doc["fast_mode"] = csense::bench::fast_mode();
     doc["filter"] = std::string_view(opts.filter);
+    doc["repeat"] = opts.repeat;
     report::json_value results = report::json_value::array();
 
     struct timing {
@@ -177,25 +225,60 @@ int main(int argc, char** argv) {
     const auto run_start = clock::now();
     for (std::size_t i = 0; i < selected.size(); ++i) {
         const scenario& s = *selected[i];
-        std::printf("\n### [%zu/%zu] %s\n", i + 1, selected.size(),
-                    s.name.c_str());
+        // --repeat: every repetition runs the scenario in full with the
+        // same seed, so metrics are identical and only wall time moves;
+        // the last repetition's metrics and status are recorded, and the
+        // per-scenario mean/min/max land next to them in the JSON.
+        // Non-repeatable scenarios (perf_micro) are capped at one run.
+        const int repeat = s.repeatable ? opts.repeat : 1;
+        if (repeat < opts.repeat) {
+            std::printf("\n(%s runs once: not repeatable in-process)\n",
+                        s.name.c_str());
+        }
+        int status = 0;
+        double elapsed_sum_ms = 0.0;
+        double elapsed_min_ms = 0.0;
+        double elapsed_max_ms = 0.0;
+        double elapsed_last_ms = 0.0;
         csense::bench::scenario_context ctx;
-        ctx.seed = opts.seed;
-        ctx.threads = opts.threads;
-        const auto start = clock::now();
-        const int status = s.run(ctx);
-        const double elapsed_ms =
-            std::chrono::duration<double, std::milli>(clock::now() - start)
-                .count();
+        for (int rep = 0; rep < repeat; ++rep) {
+            std::printf("\n### [%zu/%zu] %s", i + 1, selected.size(),
+                        s.name.c_str());
+            if (repeat > 1) {
+                std::printf(" (repetition %d/%d)", rep + 1, repeat);
+            }
+            std::printf("\n");
+            ctx = csense::bench::scenario_context{};
+            ctx.seed = opts.seed;
+            ctx.threads = opts.threads;
+            const auto start = clock::now();
+            const int rep_status = s.run(ctx);
+            elapsed_last_ms =
+                std::chrono::duration<double, std::milli>(clock::now() - start)
+                    .count();
+            if (rep_status != 0) status = rep_status;
+            elapsed_sum_ms += elapsed_last_ms;
+            elapsed_min_ms = (rep == 0) ? elapsed_last_ms
+                                        : std::min(elapsed_min_ms,
+                                                   elapsed_last_ms);
+            elapsed_max_ms = std::max(elapsed_max_ms, elapsed_last_ms);
+        }
         if (status != 0) ++failures;
-        timings.push_back({&s, status, elapsed_ms});
+        timings.push_back({&s, status, elapsed_sum_ms / repeat});
 
         report::json_value entry = report::json_value::object();
         entry["name"] = std::string_view(s.name);
         entry["description"] = std::string_view(s.description);
         entry["status"] = status;
         entry["metrics"] = std::move(ctx.metrics);
-        if (opts.timings) entry["elapsed_ms"] = elapsed_ms;
+        if (opts.timings) {
+            entry["elapsed_ms"] = elapsed_last_ms;
+            if (repeat > 1) {
+                entry["elapsed_ms_mean"] = elapsed_sum_ms / repeat;
+                entry["elapsed_ms_min"] = elapsed_min_ms;
+                entry["elapsed_ms_max"] = elapsed_max_ms;
+            }
+        }
         results.push_back(std::move(entry));
     }
     const double total_ms =

@@ -11,6 +11,7 @@
 #include "src/capacity/rate_table.hpp"
 #include "src/core/expected.hpp"
 #include "src/core/policies.hpp"
+#include "src/mac/multi_pair.hpp"
 #include "src/mac/network.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/quadrature.hpp"
@@ -183,6 +184,50 @@ void bm_event_queue(benchmark::State& state) {
 }
 BENCHMARK(bm_event_queue)->Apply(tune);
 
+void bm_medium_dense(benchmark::State& state) {
+    // Dense-network medium scaling: a 20 ms slice of a saturated
+    // N-pair arena (fixed 600 m, alpha 4), network construction
+    // included - the camp05 workload in miniature. culled = 1 runs the
+    // neighbor-culled medium (audibility floor at noise - 20 dB,
+    // O(neighbors) per event); culled = 0 the dense O(N) medium. The
+    // per-N ratio is the headline: sub-quadratic growth for the culled
+    // medium, and >= 5x over dense at N = 1000.
+    const auto pairs = static_cast<int>(state.range(0));
+    const bool culled = state.range(1) != 0;
+    stats::rng gen(1234 + static_cast<std::uint64_t>(pairs));
+    const auto topology =
+        mac::sample_multi_pair_topology(pairs, 600.0, 10.0, gen);
+    mac::multi_pair_config config;
+    config.rate = &capacity::rate_by_mbps(6.0);
+    config.alpha = 4.0;
+    config.duration_us = 2e4;
+    if (culled) {
+        config.radio.audibility_floor_dbm =
+            config.radio.noise_floor_dbm - 20.0;
+    }
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        config.seed = seed++;
+        const auto result = mac::run_multi_pair(topology, config);
+        benchmark::DoNotOptimize(result.total_pps);
+    }
+}
+void medium_dense_args(benchmark::internal::Benchmark* b) {
+    b->ArgNames({"pairs", "culled"});
+    b->Args({50, 0})->Args({50, 1});
+    b->Args({200, 0})->Args({200, 1});
+    // The dense N = 1000 reference costs ~2 min per iteration (that is
+    // the point of the refactor: 112.8 s dense vs 0.19 s culled, ~600x).
+    // Fast mode (the CI perf artifact) tracks the culled trajectory and
+    // the N <= 200 dense references every push; the full-accuracy run
+    // measures the headline ratio.
+    if (!csense::bench::fast_mode()) b->Args({1000, 0});
+    b->Args({1000, 1});
+    b->Unit(benchmark::kMillisecond);
+    tune(b);
+}
+BENCHMARK(bm_medium_dense)->Apply(medium_dense_args);
+
 void bm_dcf_simulated_second(benchmark::State& state) {
     const auto& rate = capacity::rate_by_mbps(24.0);
     std::uint64_t seed = 1;
@@ -200,14 +245,43 @@ BENCHMARK(bm_dcf_simulated_second)
     ->Unit(benchmark::kMillisecond)
     ->Apply(tune);
 
+// Console reporter that also lands every benchmark's per-iteration
+// real time in the scenario metrics, so the --json document (the
+// BENCH_ci artifact and the committed BENCH_pr5.json baseline) carries
+// the actual numbers, not just a benchmark count. Only fields stable
+// across google-benchmark 1.6-1.8 are touched.
+class recording_reporter final : public benchmark::ConsoleReporter {
+public:
+    explicit recording_reporter(csense::bench::scenario_context& ctx)
+        : ctx_(&ctx) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const auto& run : runs) {
+            if (run.iterations <= 0) continue;
+            std::string name = run.benchmark_name();
+            for (char& c : name) {
+                if (c == '/' || c == ':') c = '_';
+            }
+            ctx_->metric(name + "_ms",
+                         run.real_accumulated_time /
+                             static_cast<double>(run.iterations) * 1e3);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+private:
+    csense::bench::scenario_context* ctx_;
+};
+
 }  // namespace
 
-CSENSE_SCENARIO_EX(perf_micro,
+CSENSE_SCENARIO_EX_ONCE(perf_micro,
                 "Microbenchmarks for the numerical and simulation hot paths "
                 "(google-benchmark)",
                    bench::runtime_tier::slow,
                    "drives google-benchmark in-process; JSON doubles as the CI "
-                   "perf artifact (BENCH_ci)") {
+                   "perf artifact (BENCH_ci); runs once regardless of "
+                   "--repeat (google-benchmark is single-shot per process)") {
     csense::bench::print_header(
         "perf_micro - hot path microbenchmarks",
         "point capacities, disc quadrature, shadowed expectations, the "
@@ -216,7 +290,8 @@ CSENSE_SCENARIO_EX(perf_micro,
     std::vector<char*> argv = {program.data()};
     int argc = static_cast<int>(argv.size());
     benchmark::Initialize(&argc, argv.data());
-    const std::size_t run = benchmark::RunSpecifiedBenchmarks();
+    recording_reporter reporter(ctx);
+    const std::size_t run = benchmark::RunSpecifiedBenchmarks(&reporter);
     ctx.metric("benchmarks_run", static_cast<std::int64_t>(run));
     return run > 0 ? 0 : 1;
 }

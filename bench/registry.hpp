@@ -19,14 +19,18 @@ namespace csense::bench {
 
 /// Coarse full-accuracy (no CSENSE_FAST) single-thread runtime class,
 /// for the scenario catalog. Boundaries: fast < 1 s, medium 1-30 s,
-/// slow > 30 s on a current x86 core.
+/// slow > 30 s. `heavy` marks production-scale packet campaigns
+/// (thousand-node topologies on the neighbor-culled medium): their
+/// runtime is set by the sweep budget, and they expose a capping knob
+/// (e.g. CSENSE_CAMP05_NMAX) so CI can smoke them at reduced scale.
 enum class runtime_tier {
     fast,
     medium,
     slow,
+    heavy,
 };
 
-/// Stable lower-case name ("fast" / "medium" / "slow").
+/// Stable lower-case name ("fast" / "medium" / "slow" / "heavy").
 std::string_view tier_name(runtime_tier tier);
 
 /// Per-run state handed to each scenario.
@@ -59,6 +63,10 @@ struct scenario {
                               ///< global --seed/--threads/CSENSE_FAST;
                               ///< empty = none
     runtime_tier tier = runtime_tier::medium;
+    /// False for scenarios that may only run once per process (e.g.
+    /// perf_micro: google-benchmark's globals cannot survive a second
+    /// RunSpecifiedBenchmarks). The driver caps --repeat at 1 for them.
+    bool repeatable = true;
     scenario_fn run = nullptr;
 };
 
@@ -68,6 +76,9 @@ bool register_scenario(std::string_view name, std::string_view description,
 bool register_scenario(std::string_view name, std::string_view description,
                        std::string_view knobs, runtime_tier tier,
                        scenario_fn fn);
+bool register_scenario(std::string_view name, std::string_view description,
+                       std::string_view knobs, runtime_tier tier,
+                       bool repeatable, scenario_fn fn);
 
 /// All registered scenarios, sorted by name (stable across link order).
 const std::vector<scenario>& scenarios();
@@ -95,6 +106,18 @@ std::string markdown_catalog();
         [[maybe_unused]] ::csense::bench::scenario_context& ctx);           \
     [[maybe_unused]] static const bool csense_scenario_reg_##ident =        \
         ::csense::bench::register_scenario(#ident, desc, knobs, tier,       \
+                                           &csense_scenario_##ident);       \
+    static int csense_scenario_##ident(                                     \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx)
+
+/// CSENSE_SCENARIO_EX for a scenario that may only run once per process
+/// (the driver caps --repeat at 1; see scenario::repeatable).
+#define CSENSE_SCENARIO_EX_ONCE(ident, desc, tier, knobs)                    \
+    static int csense_scenario_##ident(                                     \
+        [[maybe_unused]] ::csense::bench::scenario_context& ctx);           \
+    [[maybe_unused]] static const bool csense_scenario_reg_##ident =        \
+        ::csense::bench::register_scenario(#ident, desc, knobs, tier,       \
+                                           /*repeatable=*/false,            \
                                            &csense_scenario_##ident);       \
     static int csense_scenario_##ident(                                     \
         [[maybe_unused]] ::csense::bench::scenario_context& ctx)

@@ -12,17 +12,37 @@
 //    SINR observed during the reception;
 //  - nodes that are transmitting hear nothing - the root of the
 //    "chain collision" pathology for preamble-based carrier sense.
+//
+// Scaling model (PR 5): the medium runs in one of two modes, selected
+// by radio_config::audibility_floor_dbm.
+//  - Dense (floor disabled, the default): every power change re-sums
+//    all active transmitters for every listener - O(N) listeners x O(A)
+//    transmitters per event. Byte-identical to the pre-culling
+//    implementation; all historical scenarios run here.
+//  - Neighbor-culled (floor set): links whose received power falls
+//    below the floor are treated as exactly zero. The topology freezes
+//    into per-node audibility neighbor lists (CSR) at the first
+//    transmission, per-transmission neighbor rx powers are precomputed
+//    in mW, and each node carries an incremental Kahan-compensated
+//    running external-power sum updated on tx start/end - so channel
+//    updates, preamble fan-out, and SINR tracking touch only audible
+//    neighbors: O(k) per event, independent of N. An exact reset
+//    whenever a node's audible set empties plus a periodic exact
+//    refresh (radio_config::power_refresh_interval) keep the
+//    incremental sums drift-free and deterministic.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/capacity/error_models.hpp"
 #include "src/mac/frame.hpp"
 #include "src/mac/wireless_config.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/stats/kahan.hpp"
 #include "src/stats/rng.hpp"
 
 namespace csense::mac {
@@ -62,15 +82,25 @@ struct medium_counters {
 /// The medium itself.
 class medium {
 public:
+    /// Throws std::invalid_argument when the audibility floor is enabled
+    /// but not below the preamble sensitivity (culling must only drop
+    /// power that is negligible for every CCA decision).
     medium(sim::simulator& sim, radio_config radio,
            const capacity::error_model& errors, std::uint64_t seed);
 
     /// Register a node; ids must be assigned densely from 0.
     node_id add_node(medium_listener& listener);
 
+    /// Pre-size internal per-node storage for `nodes` registrations.
+    /// Purely an allocation hint - results never depend on it.
+    void reserve_nodes(std::size_t nodes);
+
     std::size_t node_count() const noexcept { return listeners_.size(); }
 
     /// Symmetric link gain in dB (negative; rx = tx_power + gain).
+    /// Throws std::invalid_argument on an unknown node id or a == b, and
+    /// std::logic_error when setting a gain after the topology froze in
+    /// neighbor-culled mode.
     void set_link_gain_db(node_id a, node_id b, double gain_db);
     double link_gain_db(node_id a, node_id b) const;
 
@@ -83,7 +113,8 @@ public:
     /// starts (it does not change behaviour).
     void start_transmission(node_id src, const frame& f, bool cs_said_idle);
 
-    /// True if the node is currently transmitting.
+    /// True if the node is currently transmitting. Throws
+    /// std::invalid_argument on an unknown node id.
     bool transmitting(node_id n) const;
 
     /// Total external power at a node right now, in dBm (noise floor when
@@ -92,6 +123,14 @@ public:
 
     const medium_counters& counters() const noexcept { return counters_; }
     const radio_config& radio() const noexcept { return radio_; }
+
+    /// True when the audibility floor is enabled (neighbor-culled mode).
+    bool neighbor_culling() const noexcept { return culled_; }
+
+    /// Audible neighbors of `n`: row size of the CSR neighbor list in
+    /// culled mode, node_count() - 1 in dense mode. In culled mode the
+    /// topology must be frozen first (any transmission freezes it).
+    std::size_t neighbor_count(node_id n) const;
 
     /// Transmission-log entries currently held. Compaction clears the
     /// log at quiet moments so long runs stay O(active); exposed for the
@@ -107,9 +146,13 @@ private:
         sim::time_us start;
         sim::time_us end;
         bool active = true;
-        /// Per-receiver fading (dB) frozen for this frame; empty when
-        /// fading is disabled.
+        /// Dense mode: per-receiver fading (dB) frozen for this frame;
+        /// empty when fading is disabled.
         std::vector<double> fade_db;
+        /// Culled mode with fading: faded rx power in mW per CSR
+        /// neighbor slot of src. Empty without fading (the frame then
+        /// reads the precomputed unfaded row directly).
+        std::vector<double> rx_mw;
     };
 
     struct reception {
@@ -120,6 +163,11 @@ private:
         bool active = true;
     };
 
+    void check_node(node_id n, const char* what) const;
+    /// Culled mode: noise floor plus the clamped incremental sum - the
+    /// one definition of external power behind every culled read
+    /// (public accessor, CCA notifications, interference subtraction).
+    double culled_external_mw(node_id n) const;
     void end_transmission(std::size_t tx_index);
     void update_all_channel_states();
     void update_reception_sinrs();
@@ -127,18 +175,57 @@ private:
     double interference_mw(node_id rx, std::size_t locked_tx) const;
     void try_lock_receivers(std::size_t tx_index);
     /// Received power of one active transmission at `rx`, including the
-    /// frame's frozen fading draw.
+    /// frame's frozen fading draw (dense mode).
     double faded_rx_power_dbm(const transmission& t, node_id rx) const;
+    void maybe_compact_log();
+
+    // Dense-matrix storage helpers (dense mode).
+    void grow_dense_gains();
+    // Neighbor-culled machinery.
+    static std::uint64_t link_key(node_id a, node_id b) noexcept;
+    void freeze_topology();
+    /// Per-slot rx power (mW) of a transmission over its CSR row.
+    const double* row_rx_mw(const transmission& t) const;
+    void refresh_power_sums();
+    void notify_neighbors_after_cca(node_id src);
 
     sim::simulator& sim_;
     radio_config radio_;
     const capacity::error_model& errors_;
     stats::rng rng_;
     std::vector<medium_listener*> listeners_;
-    std::vector<double> gains_db_;  ///< dense node_count^2 matrix
+
+    // Dense mode: node_count^2 gain matrix over a power-of-two-ish
+    // stride so add_node growth is amortized O(N^2) total, not O(N^3).
+    std::vector<double> gains_db_;
+    std::size_t gain_stride_ = 0;
+
+    // Culled mode: sparse symmetric gains keyed by (min, max) node id;
+    // stays authoritative for link_gain_db after the freeze.
+    std::unordered_map<std::uint64_t, double> sparse_gains_;
+    bool culled_ = false;
+    bool frozen_ = false;
+    // CSR audibility neighbor lists, built at freeze time: row n holds
+    // the ids that can hear n (and that n can hear - gains are
+    // symmetric), sorted ascending, with the unfaded rx power in mW.
+    std::vector<std::uint32_t> nbr_offset_;
+    std::vector<node_id> nbr_id_;
+    std::vector<double> nbr_rx_mw_;
+    // Incremental per-node external power (mW, excluding the noise
+    // floor) and the number of active audible transmissions behind it.
+    std::vector<stats::kahan_sum> ext_mw_;
+    std::vector<std::uint32_t> audible_count_;
+    int ends_since_refresh_ = 0;
+    // Thresholds precomputed in mW so hot loops compare linearly.
+    double noise_mw_ = 0.0;
+    double preamble_threshold_mw_ = 0.0;
+    double cs_threshold_mw_ = 0.0;
+
     std::vector<transmission> transmissions_;
     std::vector<std::size_t> active_tx_;        ///< indices of active entries
     std::vector<std::uint8_t> tx_flag_by_node_; ///< 1 while a node is on air
+    std::vector<std::int64_t> active_tx_by_node_;  ///< transmissions_ index,
+                                                   ///< -1 when off air
     std::vector<std::optional<reception>> lock_by_node_;
     std::vector<sim::time_us> last_tx_start_;
     std::size_t active_count_ = 0;

@@ -1,8 +1,10 @@
 #include "src/mac/multi_pair.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "src/capacity/shannon.hpp"
 #include "src/propagation/units.hpp"
@@ -76,6 +78,64 @@ std::vector<multi_pair_topology::position> node_positions(
 
 }  // namespace
 
+std::vector<std::pair<node_id, node_id>> audible_link_pairs(
+    const multi_pair_topology& topology, const multi_pair_config& config) {
+    const auto nodes = node_positions(topology);
+    const auto count = static_cast<node_id>(nodes.size());
+    std::vector<std::pair<node_id, node_id>> pairs;
+    if (!config.radio.audibility_enabled()) {
+        pairs.reserve(static_cast<std::size_t>(count) * (count - 1) / 2);
+        for (node_id a = 0; a < count; ++a) {
+            for (node_id b = a + 1; b < count; ++b) {
+                pairs.emplace_back(a, b);
+            }
+        }
+        return pairs;
+    }
+    // Audible range: the distance at which the mean received power
+    // equals the floor minus the medium's 3-sigma fade allowance (links
+    // whose faded tail can still matter must reach the CSR). The tiny
+    // relative margin guards the boundary against the log/pow round
+    // trip - over-inclusion is harmless (the medium re-checks the floor
+    // at freeze time), under-inclusion would drop a real neighbor.
+    const double range_m =
+        config.distance_for_threshold_dbm(
+            config.radio.audibility_floor_dbm -
+            3.0 * config.radio.fading_sigma_db) *
+        (1.0 + 1e-9);
+    // Spatial grid with cell size = range: all audible partners of a
+    // node live in its 3x3 cell neighborhood.
+    const auto cell_of = [&](double v) {
+        return static_cast<std::int64_t>(std::floor(v / range_m));
+    };
+    const auto cell_key = [](std::int64_t ix, std::int64_t iy) {
+        return (static_cast<std::uint64_t>(ix) << 32) ^
+               static_cast<std::uint32_t>(iy);
+    };
+    std::unordered_map<std::uint64_t, std::vector<node_id>> grid;
+    grid.reserve(nodes.size());
+    for (node_id i = 0; i < count; ++i) {
+        grid[cell_key(cell_of(nodes[i].x), cell_of(nodes[i].y))].push_back(i);
+    }
+    for (node_id a = 0; a < count; ++a) {
+        const std::int64_t ix = cell_of(nodes[a].x);
+        const std::int64_t iy = cell_of(nodes[a].y);
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+            for (std::int64_t dy = -1; dy <= 1; ++dy) {
+                const auto bucket = grid.find(cell_key(ix + dx, iy + dy));
+                if (bucket == grid.end()) continue;
+                for (const node_id b : bucket->second) {
+                    if (b <= a) continue;
+                    if (distance(nodes[a], nodes[b]) <= range_m) {
+                        pairs.emplace_back(a, b);
+                    }
+                }
+            }
+        }
+    }
+    return pairs;
+}
+
 double multi_pair_result::jain_index() const noexcept {
     return stats::jain_index(per_pair_pps);
 }
@@ -89,7 +149,18 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
     if (config.rate == nullptr) {
         throw std::invalid_argument("run_multi_pair: no data rate");
     }
+    if (config.radio.audibility_enabled() && config.adapt.enabled() &&
+        config.adapt.min_threshold_dbm <= config.radio.audibility_floor_dbm) {
+        // The medium validates the global thresholds itself but cannot
+        // see per-node override ranges; an adaptive clamp below the
+        // floor would let controllers deafen nodes to carriers the
+        // culled medium models as exact silence.
+        throw std::invalid_argument(
+            "run_multi_pair: adapt.min_threshold_dbm must stay above "
+            "radio.audibility_floor_dbm");
+    }
     network net(config.radio, config.seed);
+    net.reserve_nodes(2 * n);
     mac_config sender_cfg;
     sender_cfg.sense = config.sense;
     sender_cfg.adapt = config.adapt;  // the per-node adaptation hook
@@ -101,11 +172,20 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
     }
 
     const auto nodes = node_positions(topology);
-    for (std::size_t a = 0; a < nodes.size(); ++a) {
-        for (std::size_t b = a + 1; b < nodes.size(); ++b) {
-            net.set_link_gain_db(static_cast<node_id>(a),
-                                 static_cast<node_id>(b),
+    if (config.radio.audibility_enabled()) {
+        // Neighbor-culled medium: only set the gains the floor keeps -
+        // the spatial grid finds them in O(N * k) instead of O(N^2).
+        for (const auto& [a, b] : audible_link_pairs(topology, config)) {
+            net.set_link_gain_db(a, b,
                                  config.gain_db(distance(nodes[a], nodes[b])));
+        }
+    } else {
+        for (std::size_t a = 0; a < nodes.size(); ++a) {
+            for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+                net.set_link_gain_db(
+                    static_cast<node_id>(a), static_cast<node_id>(b),
+                    config.gain_db(distance(nodes[a], nodes[b])));
+            }
         }
     }
     for (std::size_t i = 0; i < n; ++i) {

@@ -14,6 +14,7 @@
 // agreement checks at campaign scale.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "src/mac/adaptive_cs.hpp"
@@ -90,6 +91,17 @@ struct multi_pair_result {
 /// carrier-sense mode and measure delivery at each designated receiver.
 multi_pair_result run_multi_pair(const multi_pair_topology& topology,
                                  const multi_pair_config& config);
+
+/// Node-id pairs (a < b, in the flattened node order: sender i is node
+/// 2i, receiver i is node 2i + 1) whose link is audible under the
+/// config's radio audibility floor. Found through a spatial grid with
+/// cell size equal to the audible range, so N-node gain setup is
+/// O(N * k) instead of O(N^2); with the floor disabled every pair is
+/// returned. Slight over-inclusion at the range boundary is possible
+/// (and harmless - the medium re-checks the floor when it freezes the
+/// neighbor lists); under-inclusion is not.
+std::vector<std::pair<node_id, node_id>> audible_link_pairs(
+    const multi_pair_topology& topology, const multi_pair_config& config);
 
 /// Analytic §3-style prediction for an explicit topology, in the
 /// simulator's dBm units: per-pair mean Shannon capacity under full

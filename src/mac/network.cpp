@@ -21,6 +21,11 @@ node_id network::add_node(const mac_config& config) {
     return nodes_.back()->id();
 }
 
+void network::reserve_nodes(std::size_t nodes) {
+    nodes_.reserve(nodes);
+    medium_->reserve_nodes(nodes);
+}
+
 void network::set_link_gain_db(node_id a, node_id b, double gain_db) {
     medium_->set_link_gain_db(a, b, gain_db);
 }

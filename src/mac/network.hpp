@@ -21,6 +21,11 @@ public:
     /// Add a node with the given MAC configuration; returns its id.
     node_id add_node(const mac_config& config);
 
+    /// Pre-size per-node storage (nodes + medium) for `nodes`
+    /// registrations. Purely an allocation hint; results never depend
+    /// on it.
+    void reserve_nodes(std::size_t nodes);
+
     /// Symmetric link gain in dB between two existing nodes.
     void set_link_gain_db(node_id a, node_id b, double gain_db);
 

@@ -17,6 +17,11 @@ enum class cs_mode {
     energy_and_preamble,  ///< either signal marks the channel busy
 };
 
+/// Sentinel for radio_config::audibility_floor_dbm: no culling, the
+/// medium runs its dense O(N^2) path (bit-identical to builds without
+/// the neighbor-culled medium).
+inline constexpr double audibility_floor_disabled_dbm = -1.0e300;
+
 /// Per-deployment radio constants.
 struct radio_config {
     double tx_power_dbm = 15.0;
@@ -29,6 +34,47 @@ struct radio_config {
                                            ///< slot collisions (must be < slot)
     double fading_sigma_db = 0.0;          ///< per-packet, per-link wideband
                                            ///< fading residue (lognormal dB)
+
+    /// Medium-scaling knob: received powers below this floor are treated
+    /// as exactly zero, and the medium culls such links into per-node
+    /// audibility neighbor lists (CSR), making every transmission event
+    /// O(neighbors) instead of O(nodes). When fading_sigma_db > 0 the
+    /// cull criterion is the link's *mean* rx power against the floor
+    /// minus a 3-sigma fade allowance, so links whose faded tail can
+    /// still cross a CCA threshold stay in the neighbor lists (the
+    /// dropped tail is < 0.15% of frames). Recommended value for dense
+    /// campaigns: noise_floor_dbm - 20 (a -115 dBm signal moves a -95 dBm
+    /// noise floor by < 0.02 dB). Caveat: the floor is per-link, but
+    /// culled links are dropped individually while their *aggregate*
+    /// adds up - with thousands of simultaneous far transmitters the
+    /// summed sub-floor power can approach the noise floor, so at
+    /// extreme densities pick the floor with the aggregate in mind
+    /// (camp05 quantifies this per density as its
+    /// `culled_residual_*_dbm` metrics). Must sit below preamble_threshold_dbm
+    /// and below every carrier-sense threshold the run can reach, or
+    /// culling would change CCA/preamble semantics rather than just
+    /// dropping negligible power; the medium constructor enforces this
+    /// against preamble_threshold_dbm and cs_threshold_dbm, and callers
+    /// installing per-node overrides (cs_adaptation_config::
+    /// min_threshold_dbm, mac_config::cs_threshold_offset_db) must keep
+    /// them above the floor too. Default: disabled (dense medium,
+    /// byte-identical to the pre-culling implementation).
+    double audibility_floor_dbm = audibility_floor_disabled_dbm;
+
+    /// Medium-scaling knob (culled mode only): every this-many
+    /// transmission *ends* the medium rebuilds each node's running
+    /// external-power sum exactly from the active transmissions, so the
+    /// compensated incremental accounting can never drift over long
+    /// runs. Keyed to event counts, never wall clock, so runs stay
+    /// deterministic. <= 0 disables the periodic refresh (the
+    /// Kahan-compensated sums and the exact reset whenever a node's
+    /// audible set empties still bound the error).
+    int power_refresh_interval = 4096;
+
+    /// True when audibility_floor_dbm is set (neighbor-culled medium).
+    bool audibility_enabled() const noexcept {
+        return audibility_floor_dbm > audibility_floor_disabled_dbm;
+    }
 };
 
 /// How a node's closed-loop carrier-sense threshold controller moves

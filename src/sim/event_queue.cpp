@@ -1,6 +1,7 @@
 #include "src/sim/event_queue.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace csense::sim {
@@ -75,15 +76,23 @@ time_us event_queue::run_next() {
 }
 
 std::pair<time_us, std::function<void()>> event_queue::pop_next() {
+    auto next =
+        pop_next_at_most(std::numeric_limits<time_us>::infinity());
+    if (!next) throw std::logic_error("event_queue::pop_next: empty");
+    return std::move(*next);
+}
+
+std::optional<std::pair<time_us, std::function<void()>>>
+event_queue::pop_next_at_most(time_us until) {
     drop_cancelled();
-    if (heap_.empty()) throw std::logic_error("event_queue::pop_next: empty");
+    if (heap_.empty() || heap_.front().at > until) return std::nullopt;
     const entry top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
     auto action = std::move(slots_[top.slot].action);
     release_slot(top.slot);
     --pending_;
-    return {top.at, std::move(action)};
+    return std::make_pair(top.at, std::move(action));
 }
 
 }  // namespace csense::sim

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,16 @@ public:
     /// Pop the earliest event without running it; returns its time and
     /// action so the caller can advance its clock first. Requires !empty().
     std::pair<time_us, std::function<void()>> pop_next();
+
+    /// Pop the earliest event only if it is scheduled at or before
+    /// `until`; std::nullopt when the queue is empty or the next event
+    /// lies beyond the horizon. One fused top-of-heap inspection per
+    /// event instead of the next_time() + pop_next() pair - the
+    /// simulation kernel's run_until loop executes hundreds of millions
+    /// of events in a dense-network campaign, so the duplicate
+    /// stale-drop scan is worth eliding.
+    std::optional<std::pair<time_us, std::function<void()>>> pop_next_at_most(
+        time_us until);
 
     /// Size of the internal slot table: the high-water mark of
     /// *concurrently* pending events, independent of how many events were

@@ -15,10 +15,11 @@ event_id simulator::schedule_at(time_us at, std::function<void()> action) {
 }
 
 void simulator::run_until(time_us until) {
-    while (!queue_.empty() && queue_.next_time() <= until) {
-        auto [at, action] = queue_.pop_next();
-        now_ = at;  // advance the clock before the action runs
-        action();
+    // Fused horizon check + pop: one top-of-heap inspection per event
+    // (the next_time()/pop_next() pair would drop stale entries twice).
+    while (auto next = queue_.pop_next_at_most(until)) {
+        now_ = next->first;  // advance the clock before the action runs
+        next->second();
         ++executed_;
     }
     if (now_ < until) now_ = until;

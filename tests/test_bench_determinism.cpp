@@ -23,11 +23,11 @@ std::string read_file(const std::string& path) {
 
 int run_bench_in(const std::string& workdir, const std::string& filter,
                  const std::string& json_path, unsigned seed,
-                 int threads = 0) {
+                 int threads = 0, const std::string& extra_env = "") {
     std::string command =
-        "cd \"" + workdir + "\" && CSENSE_FAST=1 \"" + CSENSE_BENCH_BINARY +
-        "\" --filter " + filter + " --seed " + std::to_string(seed) +
-        " --no-timings --json \"" + json_path + "\"";
+        "cd \"" + workdir + "\" && CSENSE_FAST=1 " + extra_env + " \"" +
+        CSENSE_BENCH_BINARY + "\" --filter " + filter + " --seed " +
+        std::to_string(seed) + " --no-timings --json \"" + json_path + "\"";
     if (threads > 0) command += " --threads " + std::to_string(threads);
     command += " > /dev/null";
     return std::system(command.c_str());
@@ -109,6 +109,92 @@ TEST(BenchDeterminism, ThreadCountInvariantJson) {
     }
 }
 
+TEST(BenchDeterminism, DenseCampaignThreadInvariantJson) {
+    // camp05 runs the neighbor-culled medium (audibility CSR + the
+    // incremental Kahan power accounting) at scale; its replications
+    // shard over the campaign layer, so --threads must stay a pure
+    // wall-clock knob there too. The sweep is capped at N = 500 (the
+    // same cap the CI heavy-tier smoke uses) to keep the test quick.
+    const std::filesystem::path base =
+        std::filesystem::path(::testing::TempDir()) / "csense_camp05_threads";
+    std::filesystem::remove_all(base);
+    const auto work1 = base / "t1";
+    const auto work4 = base / "t4";
+    std::filesystem::create_directories(work1);
+    std::filesystem::create_directories(work4);
+    const std::string t1 = (base / "t1.json").string();
+    const std::string t4 = (base / "t4.json").string();
+    ASSERT_EQ(run_bench_in(work1.string(), "camp05_dense_network", t1, 1,
+                           /*threads=*/1, "CSENSE_CAMP05_NMAX=500"),
+              0);
+    ASSERT_EQ(run_bench_in(work4.string(), "camp05_dense_network", t4, 1,
+                           /*threads=*/4, "CSENSE_CAMP05_NMAX=500"),
+              0);
+    const std::string json_t1 = read_file(t1);
+    ASSERT_FALSE(json_t1.empty());
+    EXPECT_EQ(json_t1, read_file(t4))
+        << "camp05: --threads must never change the output";
+}
+
+TEST(BenchDeterminism, RepeatRecordsWallTimeStatsAndKeepsMetrics) {
+    // --repeat N reruns each scenario and records per-scenario wall-time
+    // stats next to the metrics; --no-timings must keep stripping every
+    // wall-clock field so repeated runs stay byte-comparable.
+    const std::string dir = ::testing::TempDir();
+    const std::string timed = dir + "csense_repeat_timed.json";
+    const std::string bare_a = dir + "csense_repeat_bare_a.json";
+    const std::string bare_b = dir + "csense_repeat_bare_b.json";
+    ASSERT_EQ(std::system((std::string("CSENSE_FAST=1 \"") +
+                           CSENSE_BENCH_BINARY +
+                           "\" --filter x01_shadowing_example --seed 3 "
+                           "--repeat 2 --json \"" +
+                           timed + "\" > /dev/null")
+                              .c_str()),
+              0);
+    const std::string timed_json = read_file(timed);
+    ASSERT_FALSE(timed_json.empty());
+    EXPECT_NE(timed_json.find("\"repeat\": 2"), std::string::npos);
+    EXPECT_NE(timed_json.find("elapsed_ms_mean"), std::string::npos);
+    EXPECT_NE(timed_json.find("elapsed_ms_min"), std::string::npos);
+    EXPECT_NE(timed_json.find("elapsed_ms_max"), std::string::npos);
+
+    ASSERT_EQ(run_bench_in(".", "x01_shadowing_example", bare_a, 3), 0);
+    std::string repeated =
+        std::string("CSENSE_FAST=1 \"") + CSENSE_BENCH_BINARY +
+        "\" --filter x01_shadowing_example --seed 3 --repeat 2 "
+        "--no-timings --json \"" + bare_b + "\" > /dev/null";
+    ASSERT_EQ(std::system(repeated.c_str()), 0);
+    std::string json_a = read_file(bare_a);
+    std::string json_b = read_file(bare_b);
+    // The only legitimate difference is the "repeat" header field.
+    const auto strip_repeat = [](std::string& text) {
+        const auto pos = text.find("\"repeat\"");
+        ASSERT_NE(pos, std::string::npos);
+        text.erase(pos, text.find('\n', pos) - pos);
+    };
+    strip_repeat(json_a);
+    strip_repeat(json_b);
+    EXPECT_EQ(json_a, json_b)
+        << "--repeat with --no-timings must reproduce the single-run "
+           "document (metrics identical, no wall-clock fields)";
+}
+
+TEST(BenchDeterminism, FilterAcceptsCommaSeparatedGlobList) {
+    // --filter 'a,b' selects the union of the globs - the mechanism the
+    // BENCH_pr5.json baseline uses to cover perf_micro and camp05 in
+    // one document.
+    const std::string list = ::testing::TempDir() + "csense_multi_list.txt";
+    ASSERT_EQ(std::system((std::string("\"") + CSENSE_BENCH_BINARY +
+                           "\" --list --filter 'x01*,fn12*' > \"" + list +
+                           "\"")
+                              .c_str()),
+              0);
+    const std::string text = read_file(list);
+    EXPECT_NE(text.find("x01_shadowing_example"), std::string::npos);
+    EXPECT_NE(text.find("fn12_slope_bound"), std::string::npos);
+    EXPECT_NE(text.find("(2 scenarios)"), std::string::npos) << text;
+}
+
 TEST(BenchDeterminism, MarkdownCatalogIsStableAndComplete) {
     // docs/scenarios.md is generated from --list-markdown (the
     // docs_scenarios CMake target); two invocations must be
@@ -144,7 +230,7 @@ TEST(BenchDeterminism, MarkdownCatalogIsStableAndComplete) {
         EXPECT_NE(catalog.find("| `" + name + "` |"), std::string::npos)
             << "scenario missing from the markdown catalog: " << name;
     }
-    EXPECT_GE(scenarios, 30);
+    EXPECT_GE(scenarios, 31);
 }
 
 TEST(BenchDeterminism, DifferentSeedChangesMonteCarloMetrics) {

@@ -1,0 +1,71 @@
+// Compensated accumulation (src/stats/kahan.hpp): the medium's
+// incremental power accounting leans on three properties - accuracy
+// under large/small mixing, exact cancellation of add/sub pairs beyond
+// what plain doubles give, and reset semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/kahan.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using csense::stats::kahan_sum;
+
+TEST(KahanSum, RecoversWhatPlainSummationLoses) {
+    // 1 + 1e16 - 1e16 repeated: a plain double sum drops the 1s.
+    kahan_sum k;
+    double plain = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        k.add(1.0);
+        k.add(1e16);
+        k.sub(1e16);
+        plain += 1.0;
+        plain += 1e16;
+        plain -= 1e16;
+    }
+    EXPECT_DOUBLE_EQ(k.value(), 1000.0);
+    EXPECT_NE(plain, 1000.0) << "if plain summation were exact here the "
+                                "test would prove nothing";
+}
+
+TEST(KahanSum, AddendLargerThanSum) {
+    // The Neumaier branch: compensation must also work when |x| > |sum|.
+    kahan_sum k;
+    k.add(1.0);
+    k.add(1e100);
+    k.sub(1e100);
+    EXPECT_DOUBLE_EQ(k.value(), 1.0);
+}
+
+TEST(KahanSum, ManyTransmitterChurnStaysNearExact) {
+    // The medium's access pattern: powers spanning ~12 orders of
+    // magnitude joining and leaving in random order. After removing
+    // everything the compensated value must return to ~0 at a tolerance
+    // far tighter than the smallest power involved.
+    csense::stats::rng gen(42);
+    std::vector<double> powers;
+    for (int i = 0; i < 4096; ++i) {
+        powers.push_back(std::pow(10.0, gen.uniform(-12.0, 0.0)));
+    }
+    kahan_sum k;
+    for (const double p : powers) k.add(p);
+    for (const double p : powers) k.sub(p);
+    EXPECT_LT(std::abs(k.value()), 1e-24);
+}
+
+TEST(KahanSum, ResetClearsCompensation) {
+    kahan_sum k;
+    k.add(1e16);
+    k.add(1.0);
+    k.reset();
+    EXPECT_EQ(k.value(), 0.0);
+    k.add(2.5);
+    EXPECT_DOUBLE_EQ(k.value(), 2.5);
+    k.reset(7.0);
+    EXPECT_EQ(k.value(), 7.0);
+}
+
+}  // namespace

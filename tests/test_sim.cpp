@@ -67,6 +67,29 @@ TEST(EventQueue, ErrorsWhenEmpty) {
     EXPECT_THROW(q.run_next(), std::logic_error);
 }
 
+TEST(EventQueue, PopNextAtMostRespectsHorizonAndSkipsCancelled) {
+    // The fused horizon check + pop behind simulator::run_until: it must
+    // refuse events beyond the horizon, skip cancelled entries, and pop
+    // in the same (time, insertion) order as next_time()/pop_next().
+    event_queue q;
+    EXPECT_FALSE(q.pop_next_at_most(100.0).has_value());
+    const auto a = q.schedule(1.0, [] {});
+    q.schedule(5.0, [] {});
+    q.schedule(9.0, [] {});
+    EXPECT_FALSE(q.pop_next_at_most(0.5).has_value());
+    q.cancel(a);
+    EXPECT_FALSE(q.pop_next_at_most(1.0).has_value())
+        << "the cancelled 1.0 entry must not satisfy the horizon";
+    auto next = q.pop_next_at_most(5.0);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_DOUBLE_EQ(next->first, 5.0);
+    EXPECT_FALSE(q.pop_next_at_most(8.9).has_value());
+    next = q.pop_next_at_most(9.0);  // inclusive horizon
+    ASSERT_TRUE(next.has_value());
+    EXPECT_DOUBLE_EQ(next->first, 9.0);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(Simulator, ClockAdvancesBeforeAction) {
     // Regression: actions must observe now() == their scheduled time, so
     // relative scheduling from inside a callback is correct.
