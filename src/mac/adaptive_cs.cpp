@@ -6,6 +6,7 @@
 
 #include "src/capacity/shannon.hpp"
 #include "src/propagation/units.hpp"
+#include "src/stats/kahan.hpp"
 
 namespace csense::mac {
 
@@ -176,7 +177,7 @@ void adaptive_cs_manager::start() {
 }
 
 void adaptive_cs_manager::on_epoch() {
-    double threshold_sum = 0.0;
+    stats::kahan_sum threshold_sum;
     for (auto& state : links_) {
         auto& sender = net_.node(state.link.sender);
         const double busy_us = sender.energy_busy_time_us();
@@ -198,9 +199,9 @@ void adaptive_cs_manager::on_epoch() {
         state.delivered = delivered;
 
         sender.set_cs_threshold_dbm(state.controller.on_epoch(sample));
-        threshold_sum += state.controller.threshold_dbm();
+        threshold_sum.add(state.controller.threshold_dbm());
     }
-    mean_trajectory_dbm_.push_back(threshold_sum /
+    mean_trajectory_dbm_.push_back(threshold_sum.value() /
                                    static_cast<double>(links_.size()));
     net_.sim().schedule_in(epoch_us_, [this] { on_epoch(); });
 }

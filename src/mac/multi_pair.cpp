@@ -9,6 +9,7 @@
 #include "src/capacity/shannon.hpp"
 #include "src/propagation/units.hpp"
 #include "src/stats/distributions.hpp"
+#include "src/stats/kahan.hpp"
 #include "src/stats/summary.hpp"
 
 namespace csense::mac {
@@ -214,13 +215,15 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
     multi_pair_result result;
     result.per_pair_pps.resize(n, 0.0);
     const double seconds = config.duration_us / 1e6;
+    stats::kahan_sum total_pps;
     for (std::size_t i = 0; i < n; ++i) {
         const auto& by_src = net.node(receivers[i]).stats().rx_decoded_by_src;
         const auto it = by_src.find(senders[i]);
         result.per_pair_pps[i] =
             (it != by_src.end()) ? it->second / seconds : 0.0;
-        result.total_pps += result.per_pair_pps[i];
+        total_pps.add(result.per_pair_pps[i]);
     }
+    result.total_pps = total_pps.value();
     result.counters = net.air().counters();
     if (adaptation) {
         result.final_cs_threshold_dbm = adaptation->thresholds_dbm();
@@ -240,27 +243,33 @@ multi_pair_prediction predict_multi_pair(const multi_pair_topology& topology,
         propagation::dbm_to_mw(config.radio.noise_floor_dbm);
 
     multi_pair_prediction prediction;
+    // The cumulative-interference sum mixes a few strong terms with many
+    // weak ones — exactly the regime where plain += drifts (and what
+    // lint rule R4 exists to catch), so all three folds are compensated.
+    stats::kahan_sum concurrent_sum;
+    stats::kahan_sum multiplexing_sum;
     for (std::size_t i = 0; i < n; ++i) {
         const double signal_mw = propagation::dbm_to_mw(
             config.radio.tx_power_dbm +
             config.gain_db(distance(topology.senders[i],
                                     topology.receivers[i])));
-        double interference_mw = 0.0;
+        stats::kahan_sum interference_mw;
         for (std::size_t j = 0; j < n; ++j) {
             if (j == i) continue;
-            interference_mw += propagation::dbm_to_mw(
+            interference_mw.add(propagation::dbm_to_mw(
                 config.radio.tx_power_dbm +
                 config.gain_db(distance(topology.senders[j],
-                                        topology.receivers[i])));
+                                        topology.receivers[i]))));
         }
-        prediction.concurrent += capacity::shannon_bits_per_hz(
-            signal_mw / (noise_mw + interference_mw));
-        prediction.multiplexing +=
+        concurrent_sum.add(capacity::shannon_bits_per_hz(
+            signal_mw / (noise_mw + interference_mw.value())));
+        multiplexing_sum.add(
             capacity::shannon_bits_per_hz(signal_mw / noise_mw) /
-            static_cast<double>(n);
+            static_cast<double>(n));
     }
-    prediction.concurrent /= static_cast<double>(n);
-    prediction.multiplexing /= static_cast<double>(n);
+    prediction.concurrent = concurrent_sum.value() / static_cast<double>(n);
+    prediction.multiplexing =
+        multiplexing_sum.value() / static_cast<double>(n);
 
     for (std::size_t a = 0; a < n && !prediction.cs_defers; ++a) {
         for (std::size_t b = a + 1; b < n; ++b) {

@@ -1,0 +1,13 @@
+// Known-bad fixture for LP (lint-pragma): pragmas that are malformed,
+// name unknown rules, lack justification, or suppress nothing.
+#include <random>
+
+double fixture_pragma_bad(unsigned seed) {
+    // csense-lint: allow(raw-rng)
+    std::mt19937 gen(seed);  // line 7: R2 survives (pragma on 6 is LP)
+    // csense-lint: allow(no-such-rule) -- the rule name is wrong
+    std::mt19937_64 wide(seed);  // line 9: R2 survives
+    // csense-lint: allow(nondeterminism-source) -- nothing here to allow
+    const double x = 0.5;  // line 11: unused pragma -> LP at line 10
+    return x + static_cast<double>(gen() + wide());
+}

@@ -1,0 +1,12 @@
+// Known-good fixture for the pragma layer: justified allow-pragmas in
+// both positions (own line above, trailing on the line) suppress the
+// violation and nothing else.
+#include <random>
+
+double fixture_pragma_good(unsigned seed) {
+    // csense-lint: allow(raw-rng) -- fixture exercising suppression of
+    // a deliberate raw engine; never copy this pattern into src/.
+    std::mt19937 gen(seed);
+    std::mt19937_64 wide(seed);  // csense-lint: allow(raw-rng) -- trailing-position fixture, deliberate raw engine
+    return static_cast<double>(gen() + wide());
+}

@@ -1,0 +1,25 @@
+// Known-bad fixture for R1 (nondeterminism-source). Every banned
+// source below must fire at the exact line test_lint.cpp asserts.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+int fixture_r1() {
+    std::random_device entropy;                       // line 8: R1
+    const int a = static_cast<int>(entropy());
+    const int b = rand();                             // line 10: R1
+    srand(42);                                        // line 11: R1
+    const auto t = time(nullptr);                     // line 12: R1
+    const auto c = clock();                           // line 13: R1
+    const auto now =
+        std::chrono::steady_clock::now();             // line 15: R1
+    const auto wall = std::chrono::system_clock::now();  // line 16: R1
+    std::hash<const int*> addr_hash;                  // line 17: R1
+    const void* p = &a;
+    const auto bits = reinterpret_cast<std::uintptr_t>(p);  // line 19: R1
+    return a + b + static_cast<int>(t) + static_cast<int>(c) +
+           static_cast<int>(bits) +
+           static_cast<int>(now.time_since_epoch().count()) +
+           static_cast<int>(wall.time_since_epoch().count()) +
+           static_cast<int>(addr_hash(&a));
+}

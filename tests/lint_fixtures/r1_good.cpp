@@ -1,0 +1,27 @@
+// Known-good fixture for R1: near-misses the tokenizer must not trip
+// on. None of these lines may produce a violation. Mentioning
+// std::random_device or steady_clock::now() in comments — or "rand()"
+// and "time(nullptr)" in string literals — is fine.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct sampler {
+    int time(int x) const { return x; }  // member named time: allowed
+    int clock = 0;                        // data member named clock
+};
+
+std::uint64_t run_time(std::uint64_t t) { return t; }  // suffix match
+
+int fixture_r1_good() {
+    sampler s;
+    const int a = s.time(3);          // member call, not ::time
+    const auto b = run_time(9);       // identifier merely ends in "time"
+    const std::string msg = "rand() and time(nullptr) and R\"(clock())\"";
+    const std::uint64_t time_us = 7;  // identifier, no call
+    std::hash<std::string> h;         // hashing a value type: allowed
+    return a + static_cast<int>(b + time_us + h(msg)) + s.clock;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Known-bad fixture for R2 (raw-rng): raw <random> engines and
+// distributions outside the split-RNG facade.
+#include <random>
+
+double fixture_r2(unsigned seed) {
+    std::mt19937 gen(seed);                            // line 6: R2
+    std::uniform_real_distribution<double> u(0, 1);    // line 7: R2
+    std::normal_distribution<double> n(0, 1);          // line 8: R2
+    std::mt19937_64 wide(seed);                        // line 9: R2
+    return u(gen) + n(gen) + static_cast<double>(wide());
+}

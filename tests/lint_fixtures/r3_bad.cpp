@@ -1,0 +1,26 @@
+// Known-bad fixture for R3 (unordered-iteration): folds whose order
+// depends on hash-table layout.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct fixture_stats {
+    std::unordered_map<std::uint32_t, std::uint64_t> decoded_by_src;
+};
+
+double fixture_r3(const fixture_stats& stats,
+                  const std::unordered_set<int>& live) {
+    double sum = 0.0;
+    for (const auto& [src, count] : stats.decoded_by_src) {  // line 15: R3
+        sum += static_cast<double>(src + count);
+    }
+    const auto& by_src = stats.decoded_by_src;
+    for (const auto& entry : by_src) {                       // line 19: R3
+        sum += static_cast<double>(entry.second);
+    }
+    for (auto it = live.begin(); it != live.end(); ++it) {   // line 22: R3
+        sum += *it;
+    }
+    return sum;
+}

@@ -1,0 +1,24 @@
+// Known-good fixture for R3: point lookups into unordered containers
+// and loops over ordered containers are fine, and a justified
+// allow-pragma suppresses a deliberate order-free fold.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+double fixture_r3_good(
+    const std::unordered_map<std::uint32_t, double>& gains,
+    const std::vector<std::uint32_t>& order) {
+    double sum = 0.0;
+    for (const auto id : order) {  // ordered container: allowed
+        const auto it = gains.find(id);  // point lookup: allowed
+        if (it != gains.end()) sum += it->second;
+    }
+    std::size_t links = 0;
+    // csense-lint: allow(unordered-iteration) -- pure counting fold;
+    // the result is independent of visitation order.
+    for (const auto& [id, gain] : gains) {
+        links += static_cast<std::size_t>(id == id);
+        static_cast<void>(gain);
+    }
+    return sum + static_cast<double>(links);
+}

@@ -1,0 +1,26 @@
+// Known-bad fixture for R4 (loop-float-accumulation). test_lint.cpp
+// lints this under the synthetic path "src/mac/r4_bad.cpp" so the rule
+// is in scope, and feeds r4_header.hpp as the sibling-header context
+// (declaring the float member `total_pps`).
+#include <cstddef>
+#include <vector>
+
+struct r4_result;
+
+double fixture_r4(const std::vector<double>& samples, r4_result* result);
+
+double fixture_r4_impl(const std::vector<double>& samples, double extra) {
+    double sum = 0.0;
+    for (const double s : samples) {
+        sum += s;                                  // line 15: R4
+    }
+    std::vector<double> bins(4, 0.0);
+    std::size_t i = 0;
+    while (i < samples.size()) {
+        bins[i % 4] += samples[i];                 // line 20: R4
+        ++i;
+    }
+    for (std::size_t j = 0; j < samples.size(); ++j)
+        extra += samples[j];                       // line 24: R4 (braceless)
+    return sum + bins[0] + extra;
+}

@@ -1,0 +1,9 @@
+// Sibling-header context for the R4 fixtures: declares the
+// floating-point member a .cpp accumulates into, mirroring how
+// multi_pair_result::total_pps is declared in multi_pair.hpp.
+#pragma once
+
+struct r4_result {
+    double total_pps = 0.0;
+    long frames = 0;
+};

@@ -1,0 +1,19 @@
+// R4 with a member declared only in the sibling header (r4_header.hpp):
+// the accumulation target's type is not visible in this file alone.
+#include <vector>
+
+struct r4_result;
+
+void fixture_r4_member(const std::vector<double>& pps, r4_result& result);
+
+void fixture_r4_member_impl(const std::vector<double>& pps,
+                            r4_result& result);
+
+// Definitions live out of line so the only type information about
+// result.total_pps comes from the header context.
+void run_fold(const std::vector<double>& pps, r4_result& result) {
+    for (const double v : pps) {
+        result.total_pps += v;                     // line 16: R4
+        result.frames += 1;                        // integer: allowed
+    }
+}

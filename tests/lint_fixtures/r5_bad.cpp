@@ -1,0 +1,27 @@
+// Known-bad fixture for R5 (mutable-static): shared mutable state at
+// file, namespace, function and class scope. test_lint.cpp also lints
+// this same content under a whitelisted path (src/core/parallel.cpp)
+// and expects silence.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+static int fixture_call_count = 0;                    // line 9: R5
+
+namespace fixture {
+static std::vector<int> cache;                        // line 12: R5
+thread_local std::uint64_t worker_scratch = 0;        // line 13: R5
+}  // namespace fixture
+
+int fixture_r5() {
+    static std::string last_result;                   // line 17: R5
+    last_result = "x";
+    return ++fixture_call_count +
+           static_cast<int>(fixture::cache.size() +
+                            fixture::worker_scratch +
+                            last_result.size());
+}
+
+struct fixture_registry {
+    static int live_instances;                        // line 26: R5
+};

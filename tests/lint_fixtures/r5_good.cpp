@@ -1,0 +1,26 @@
+// Known-good fixture for R5: immutable statics, static functions and
+// static_cast/static_assert must never fire.
+#include <string>
+#include <vector>
+
+static_assert(sizeof(int) >= 4, "sanity");
+
+namespace fixture {
+
+static constexpr int kMaxWorkers = 64;          // constexpr: allowed
+static const std::string kName = "csense";      // const: allowed
+
+static int helper(int x) { return x + 1; }      // static function: allowed
+
+const std::vector<int>& table() {
+    static const std::vector<int> rates = {6, 9, 12, 18};  // const: allowed
+    return rates;
+}
+
+}  // namespace fixture
+
+int fixture_r5_good() {
+    return fixture::helper(fixture::kMaxWorkers) +
+           static_cast<int>(fixture::kName.size() +
+                            fixture::table().size());
+}

@@ -1,0 +1,256 @@
+// Tests for tools/lint: each rule fires exactly where the fixture
+// corpus says it should, allow-pragmas suppress correctly (and are
+// themselves policed), and the real source tree is violation-free.
+//
+// Fixtures live in tests/lint_fixtures/ (skipped by lint_tree so the
+// known-bad corpus never fails the project-wide lint run); the paths
+// are injected by the build as compile definitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/lexer.hpp"
+#include "tools/lint/rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using csense::lint::lint_source;
+using csense::lint::lint_tree;
+using csense::lint::violation;
+
+fs::path fixture_dir() { return fs::path(CSENSE_LINT_FIXTURE_DIR); }
+
+std::string read_fixture(const std::string& name) {
+    const fs::path p = fixture_dir() / name;
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture " << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/// (rule, line) pairs, sorted, for compact whole-file assertions.
+std::vector<std::pair<std::string, int>> fired(
+    const std::vector<violation>& vs) {
+    std::vector<std::pair<std::string, int>> out;
+    out.reserve(vs.size());
+    for (const auto& v : vs) out.emplace_back(v.rule, v.line);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second != b.second ? a.second < b.second
+                                              : a.first < b.first;
+              });
+    return out;
+}
+
+using pairs = std::vector<std::pair<std::string, int>>;
+
+TEST(LintLexer, ScrubStripsCommentsAndLiterals) {
+    const auto src = csense::lint::scrub(
+        "int a; // rand()\n"
+        "const char* s = \"time(nullptr)\";\n"
+        "/* std::random_device */ int b = 1'000'000;\n");
+    EXPECT_EQ(src.code.find("rand"), std::string::npos);
+    EXPECT_EQ(src.code.find("time"), std::string::npos);
+    EXPECT_EQ(src.code.find("random_device"), std::string::npos);
+    EXPECT_NE(src.code.find("1'000'000"), std::string::npos);
+    ASSERT_EQ(src.comments.size(), 2u);
+    EXPECT_EQ(src.comments[0].line, 1);
+    EXPECT_FALSE(src.comments[0].own_line);
+}
+
+TEST(LintLexer, RawStringsAreOpaque) {
+    const auto src = csense::lint::scrub(
+        "auto s = R\"(std::mt19937 rand() time(0))\";\nint x = 0;\n");
+    EXPECT_EQ(src.code.find("mt19937"), std::string::npos);
+    const auto vs = lint_source("src/core/x.cpp", src.code);
+    EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintRules, CatalogIsStable) {
+    const auto& rules = csense::lint::rules();
+    ASSERT_EQ(rules.size(), 6u);
+    EXPECT_EQ(rules[0].id, "R1");
+    EXPECT_EQ(rules[0].name, "nondeterminism-source");
+    EXPECT_EQ(rules[4].id, "R5");
+    EXPECT_EQ(rules[5].id, "LP");
+    const std::string table = csense::lint::list_rules_markdown();
+    EXPECT_NE(table.find("| Id | Pragma name | Enforces |"),
+              std::string::npos);
+    for (const auto& r : rules) {
+        EXPECT_NE(table.find(std::string(r.name)), std::string::npos);
+    }
+}
+
+TEST(LintR1, FiresOnEveryBannedSource) {
+    const auto vs =
+        lint_source("src/core/r1_bad.cpp", read_fixture("r1_bad.cpp"));
+    EXPECT_EQ(fired(vs),
+              (pairs{{"R1", 8},
+                     {"R1", 10},
+                     {"R1", 11},
+                     {"R1", 12},
+                     {"R1", 13},
+                     {"R1", 15},
+                     {"R1", 16},
+                     {"R1", 17},
+                     {"R1", 19}}));
+}
+
+TEST(LintR1, IgnoresNearMisses) {
+    const auto vs =
+        lint_source("src/core/r1_good.cpp", read_fixture("r1_good.cpp"));
+    EXPECT_EQ(fired(vs), pairs{});
+}
+
+TEST(LintR1, ClockNowAllowedOnlyInTimingReport) {
+    const std::string content = "auto t = clock::now();\n";
+    EXPECT_EQ(fired(lint_source("src/core/x.cpp", content)),
+              (pairs{{"R1", 1}}));
+    EXPECT_EQ(fired(lint_source("bench/main.cpp", content)), pairs{});
+    // The whitelist is an exact path suffix, not a substring.
+    EXPECT_EQ(fired(lint_source("xbench/main.cpp", content)),
+              (pairs{{"R1", 1}}));
+}
+
+TEST(LintR2, FiresOutsideTheFacade) {
+    const auto vs =
+        lint_source("src/sim/r2_bad.cpp", read_fixture("r2_bad.cpp"));
+    EXPECT_EQ(fired(vs),
+              (pairs{{"R2", 6}, {"R2", 7}, {"R2", 8}, {"R2", 9}}));
+}
+
+TEST(LintR2, FacadeFilesAreExempt) {
+    const auto content = read_fixture("r2_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/stats/rng.cpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("src/stats/rng.hpp", content)), pairs{});
+}
+
+TEST(LintR3, FiresOnUnorderedIteration) {
+    const auto vs =
+        lint_source("src/mac/r3_bad.cpp", read_fixture("r3_bad.cpp"));
+    const auto got = fired(vs);
+    const pairs expect_r3 = {{"R3", 15}, {"R3", 19}, {"R3", 22}};
+    pairs got_r3;
+    for (const auto& p : got) {
+        if (p.first == "R3") got_r3.push_back(p);
+    }
+    EXPECT_EQ(got_r3, expect_r3);
+}
+
+TEST(LintR3, LookupsAndPragmaAreClean) {
+    const auto vs = lint_source("src/mac/r3_good.cpp",
+                                read_fixture("r3_good.cpp"));
+    pairs got_r3;
+    for (const auto& p : fired(vs)) {
+        if (p.first == "R3" || p.first == "LP") got_r3.push_back(p);
+    }
+    EXPECT_EQ(got_r3, pairs{});
+}
+
+TEST(LintR4, FiresInsideMacAndSimLoops) {
+    const auto content = read_fixture("r4_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/mac/r4_bad.cpp", content)),
+              (pairs{{"R4", 15}, {"R4", 20}, {"R4", 24}}));
+    EXPECT_EQ(fired(lint_source("src/sim/r4_bad.cpp", content)),
+              (pairs{{"R4", 15}, {"R4", 20}, {"R4", 24}}));
+}
+
+TEST(LintR4, OutOfScopePathsAreExempt) {
+    const auto content = read_fixture("r4_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/core/r4_bad.cpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("bench/r4_bad.cpp", content)), pairs{});
+}
+
+TEST(LintR4, SiblingHeaderDeclaresTheAccumulator) {
+    const auto content = read_fixture("r4_member.cpp");
+    const auto header = read_fixture("r4_header.hpp");
+    // Without the header the member's type is unknown: silent.
+    EXPECT_EQ(fired(lint_source("src/mac/r4_member.cpp", content)),
+              pairs{});
+    // With it, the float accumulation is caught; the integer is not.
+    EXPECT_EQ(fired(lint_source("src/mac/r4_member.cpp", content, header)),
+              (pairs{{"R4", 16}}));
+}
+
+TEST(LintR5, FiresOnMutableStatics) {
+    const auto vs =
+        lint_source("src/core/r5_bad.cpp", read_fixture("r5_bad.cpp"));
+    EXPECT_EQ(fired(vs),
+              (pairs{{"R5", 9},
+                     {"R5", 12},
+                     {"R5", 13},
+                     {"R5", 17},
+                     {"R5", 26}}));
+}
+
+TEST(LintR5, RegisteredSingletonFilesAreExempt) {
+    const auto content = read_fixture("r5_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/core/parallel.cpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("src/stats/quadrature.cpp", content)),
+              pairs{});
+    EXPECT_EQ(fired(lint_source("bench/registry.cpp", content)), pairs{});
+}
+
+TEST(LintR5, ImmutableAndFunctionStaticsAreClean) {
+    const auto vs =
+        lint_source("src/core/r5_good.cpp", read_fixture("r5_good.cpp"));
+    EXPECT_EQ(fired(vs), pairs{});
+}
+
+TEST(LintPragmas, MalformedUnknownAndUnusedAreViolations) {
+    const auto vs = lint_source("src/core/pragma_bad.cpp",
+                                read_fixture("pragma_bad.cpp"));
+    EXPECT_EQ(fired(vs),
+              (pairs{{"LP", 6},    // missing justification
+                     {"R2", 7},    // ...so the violation survives
+                     {"LP", 8},    // unknown rule
+                     {"R2", 9},
+                     {"LP", 10}}));  // valid but suppresses nothing
+}
+
+TEST(LintPragmas, JustifiedPragmasSuppressBothPositions) {
+    const auto vs = lint_source("src/core/pragma_good.cpp",
+                                read_fixture("pragma_good.cpp"));
+    EXPECT_EQ(fired(vs), pairs{});
+}
+
+TEST(LintTree, FixtureCorpusIsSkipped) {
+    std::size_t files = 0;
+    const auto vs = lint_tree({fixture_dir().parent_path()},
+                              fixture_dir().parent_path().parent_path(),
+                              &files);
+    // tests/ itself is linted (this file included)...
+    EXPECT_GT(files, 0u);
+    // ...but no violation may come from the known-bad corpus.
+    for (const auto& v : vs) {
+        EXPECT_EQ(v.file.find("lint_fixtures"), std::string::npos)
+            << v.file << ":" << v.line;
+    }
+}
+
+// The enforcement test: the real tree must be lint-clean. This is the
+// same check as the `lint` CMake target and the CI lint job, run here
+// so a violation fails plain ctest too.
+TEST(LintTree, SourceTreeIsViolationFree) {
+    const fs::path root = fs::path(CSENSE_LINT_SOURCE_ROOT);
+    ASSERT_TRUE(fs::exists(root / "src"));
+    std::size_t files = 0;
+    const auto vs = lint_tree(
+        {root / "src", root / "bench", root / "tests"}, root, &files);
+    EXPECT_GT(files, 100u);
+    for (const auto& v : vs) {
+        ADD_FAILURE() << v.file << ":" << v.line << ": [" << v.rule << "] "
+                      << v.message;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,355 @@
+// bench_compare — perf gate over two csense_bench JSON reports.
+//
+// Usage:
+//   bench_compare BASELINE.json NEW.json [--threshold 0.25] [--quiet]
+//
+// Compares, for every scenario present in both files:
+//   * per-scenario elapsed time: elapsed_ms_mean/min/max when the run
+//     used --repeat, else the single elapsed_ms, and
+//   * per-benchmark ms/iter for perf_micro-style metrics (numeric
+//     metrics whose name ends in "_ms"),
+// flagging anything slower than baseline * (1 + threshold) as a
+// regression (default threshold 0.25 = ±25% noise band). Scenarios or
+// benchmarks present in only one file are reported but never fail the
+// gate — scenario sets legitimately change across PRs. Exits 1 when at
+// least one regression fired, 2 on usage/parse errors.
+//
+// The parser below covers exactly the JSON subset report::json_value
+// emits (objects, arrays, strings, doubles, bools, null); keeping it
+// local avoids a third-party dependency for a 300-line tool.
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+
+struct json_node {
+    enum class kind { null, boolean, number, string, array, object };
+    kind type = kind::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<json_node> array;
+    std::vector<std::pair<std::string, json_node>> object;
+
+    const json_node* find(std::string_view key) const {
+        for (const auto& [k, v] : object) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+};
+
+class json_parser {
+public:
+    explicit json_parser(std::string_view text) : text_(text) {}
+
+    bool parse(json_node* out) {
+        skip_ws();
+        if (!value(out)) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool literal(std::string_view word) {
+        if (text_.compare(pos_, word.size(), word) == 0) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+    bool string_body(std::string* out) {
+        if (!consume('"')) return false;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case 'n': c = '\n'; break;
+                    case 't': c = '\t'; break;
+                    case 'r': c = '\r'; break;
+                    case 'b': c = '\b'; break;
+                    case 'f': c = '\f'; break;
+                    case 'u':
+                        // Benchmarks never emit non-ASCII; keep the
+                        // escape verbatim rather than decoding UTF-16.
+                        out->push_back('\\');
+                        c = 'u';
+                        break;
+                    default: c = esc; break;
+                }
+            }
+            out->push_back(c);
+        }
+        return consume('"');
+    }
+    bool value(json_node* out) {
+        skip_ws();
+        if (pos_ >= text_.size()) return false;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out->type = json_node::kind::object;
+            skip_ws();
+            if (consume('}')) return true;
+            while (true) {
+                std::string key;
+                skip_ws();
+                if (!string_body(&key)) return false;
+                skip_ws();
+                if (!consume(':')) return false;
+                json_node child;
+                if (!value(&child)) return false;
+                out->object.emplace_back(std::move(key), std::move(child));
+                skip_ws();
+                if (consume(',')) continue;
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out->type = json_node::kind::array;
+            skip_ws();
+            if (consume(']')) return true;
+            while (true) {
+                json_node child;
+                if (!value(&child)) return false;
+                out->array.push_back(std::move(child));
+                skip_ws();
+                if (consume(',')) continue;
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out->type = json_node::kind::string;
+            return string_body(&out->string);
+        }
+        if (literal("true")) {
+            out->type = json_node::kind::boolean;
+            out->boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out->type = json_node::kind::boolean;
+            out->boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out->type = json_node::kind::null;
+            return true;
+        }
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) != 0 ||
+                text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+                text_[end] == 'e' || text_[end] == 'E')) {
+            ++end;
+        }
+        if (end == pos_) return false;
+        const auto result =
+            std::from_chars(text_.data() + pos_, text_.data() + end,
+                            out->number);
+        if (result.ec != std::errc()) return false;
+        out->type = json_node::kind::number;
+        pos_ = end;
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison
+
+struct timing_series {
+    std::map<std::string, double> values;  // label -> ms
+};
+
+/// Extracts everything comparable from one report: scenario elapsed
+/// stats plus per-benchmark ms metrics.
+std::map<std::string, timing_series> extract(const json_node& doc) {
+    std::map<std::string, timing_series> out;
+    const json_node* scenarios = doc.find("scenarios");
+    if (scenarios == nullptr) return out;
+    for (const auto& sc : scenarios->array) {
+        const json_node* name = sc.find("name");
+        if (name == nullptr) continue;
+        timing_series& series = out[name->string];
+        for (const char* key :
+             {"elapsed_ms_mean", "elapsed_ms_min", "elapsed_ms_max"}) {
+            if (const json_node* v = sc.find(key);
+                v != nullptr && v->type == json_node::kind::number) {
+                // key + 11 skips "elapsed_ms_", leaving mean/min/max.
+                series.values[std::string("elapsed/") + (key + 11)] =
+                    v->number;
+            }
+        }
+        // Single-shot runs only carry elapsed_ms; use it as the mean.
+        if (series.values.empty()) {
+            if (const json_node* v = sc.find("elapsed_ms");
+                v != nullptr && v->type == json_node::kind::number) {
+                series.values["elapsed/mean"] = v->number;
+            }
+        }
+        if (const json_node* metrics = sc.find("metrics");
+            metrics != nullptr) {
+            for (const auto& [k, v] : metrics->object) {
+                if (v.type == json_node::kind::number && k.size() > 3 &&
+                    k.compare(k.size() - 3, 3, "_ms") == 0) {
+                    series.values["metric/" + k] = v.number;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool read_doc(const char* path, json_node* doc) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "bench_compare: cannot open " << path << "\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    json_parser parser(text);
+    if (!parser.parse(doc)) {
+        std::cerr << "bench_compare: " << path << ": JSON parse error\n";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* base_path = nullptr;
+    const char* new_path = nullptr;
+    double threshold = 0.25;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--threshold") {
+            if (++i >= argc) {
+                std::cerr << "bench_compare: --threshold needs a value\n";
+                return 2;
+            }
+            threshold = std::strtod(argv[i], nullptr);
+            if (!(threshold > 0.0)) {
+                std::cerr << "bench_compare: threshold must be > 0\n";
+                return 2;
+            }
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h" ||
+                   (!arg.empty() && arg.front() == '-')) {
+            std::cerr << "usage: bench_compare BASELINE.json NEW.json"
+                         " [--threshold FRAC] [--quiet]\n";
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        } else if (base_path == nullptr) {
+            base_path = argv[i];
+        } else if (new_path == nullptr) {
+            new_path = argv[i];
+        } else {
+            std::cerr << "bench_compare: too many positional arguments\n";
+            return 2;
+        }
+    }
+    if (base_path == nullptr || new_path == nullptr) {
+        std::cerr << "usage: bench_compare BASELINE.json NEW.json"
+                     " [--threshold FRAC] [--quiet]\n";
+        return 2;
+    }
+
+    json_node base_doc;
+    json_node new_doc;
+    if (!read_doc(base_path, &base_doc) || !read_doc(new_path, &new_doc)) {
+        return 2;
+    }
+    const auto base = extract(base_doc);
+    const auto fresh = extract(new_doc);
+
+    int regressions = 0;
+    int improvements = 0;
+    int compared = 0;
+
+    for (const auto& [name, base_series] : base) {
+        const auto it = fresh.find(name);
+        if (it == fresh.end()) {
+            if (!quiet) {
+                std::cout << "  (only in baseline) " << name << "\n";
+            }
+            continue;
+        }
+        for (const auto& [label, base_ms] : base_series.values) {
+            const auto vit = it->second.values.find(label);
+            if (vit == it->second.values.end()) continue;
+            const double new_ms = vit->second;
+            ++compared;
+            if (!(base_ms > 0.0)) continue;
+            const double ratio = new_ms / base_ms;
+            const double pct = (ratio - 1.0) * 100.0;
+            char verdict = ' ';
+            if (ratio > 1.0 + threshold) {
+                verdict = '!';
+                ++regressions;
+            } else if (ratio < 1.0 - threshold) {
+                verdict = '+';
+                ++improvements;
+            }
+            if (!quiet || verdict == '!') {
+                std::printf("%c %-24s %-44s %12.4f -> %12.4f ms (%+.1f%%)%s\n",
+                            verdict, name.c_str(), label.c_str(), base_ms,
+                            new_ms, pct,
+                            verdict == '!' ? "  REGRESSION"
+                            : verdict == '+' ? "  faster"
+                                             : "");
+            }
+        }
+    }
+    for (const auto& [name, series] : fresh) {
+        if (base.find(name) == base.end() && !quiet) {
+            std::cout << "  (new scenario) " << name << "\n";
+        }
+    }
+
+    std::printf("%d timings compared (threshold ±%.0f%%): "
+                "%d regression%s, %d improvement%s\n",
+                compared, threshold * 100.0, regressions,
+                regressions == 1 ? "" : "s", improvements,
+                improvements == 1 ? "" : "s");
+    if (compared == 0) {
+        std::cerr << "bench_compare: nothing comparable between the two "
+                     "reports\n";
+        return 2;
+    }
+    return regressions > 0 ? 1 : 0;
+}

@@ -1,0 +1,199 @@
+#include "tools/lint/lexer.hpp"
+
+#include <cctype>
+
+namespace csense::lint {
+
+namespace {
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when source[i] starts a raw-string literal (R" with an optional
+/// u8/u/U/L encoding prefix) and the prefix is not glued to a longer
+/// identifier (fooR"..." is not a raw string).
+bool raw_string_at(std::string_view s, std::size_t i, std::size_t* r_pos) {
+    std::size_t r = i;
+    if (r + 1 < s.size() && (s[r] == 'u' || s[r] == 'U' || s[r] == 'L')) {
+        if (s[r] == 'u' && r + 2 < s.size() && s[r + 1] == '8') ++r;
+        ++r;
+    }
+    if (r + 1 >= s.size() || s[r] != 'R' || s[r + 1] != '"') return false;
+    if (i > 0 && ident_char(s[i - 1])) return false;
+    *r_pos = r;
+    return true;
+}
+
+}  // namespace
+
+scrubbed_source scrub(std::string_view source) {
+    scrubbed_source out;
+    out.code.assign(source.begin(), source.end());
+    std::string& code = out.code;
+
+    int line = 1;
+    bool line_has_code = false;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto blank = [&](std::size_t at) {
+        if (code[at] != '\n') code[at] = ' ';
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            line_has_code = false;
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            comment cm;
+            cm.line = line;
+            cm.own_line = !line_has_code;
+            std::size_t j = i;
+            while (j < n && source[j] != '\n') {
+                blank(j);
+                ++j;
+            }
+            cm.text.assign(source.substr(i + 2, j - i - 2));
+            cm.end_line = line;
+            out.comments.push_back(std::move(cm));
+            i = j;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            comment cm;
+            cm.line = line;
+            cm.own_line = !line_has_code;
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+                if (source[j] == '\n') ++line;
+                ++j;
+            }
+            const std::size_t body_end = j;
+            if (j + 1 < n) j += 2;  // consume the closing */
+            for (std::size_t k = i; k < j; ++k) blank(k);
+            cm.text.assign(source.substr(i + 2, body_end - i - 2));
+            cm.end_line = line;
+            out.comments.push_back(std::move(cm));
+            i = j;
+            continue;
+        }
+        // Raw string literal.
+        std::size_t r_pos = 0;
+        if ((c == 'R' || c == 'u' || c == 'U' || c == 'L') &&
+            raw_string_at(source, i, &r_pos)) {
+            std::size_t j = r_pos + 2;  // past R"
+            std::string delim;
+            while (j < n && source[j] != '(') delim += source[j++];
+            const std::string closer = ")" + delim + "\"";
+            std::size_t end = source.find(closer, j);
+            end = (end == std::string_view::npos) ? n : end + closer.size();
+            for (std::size_t k = i; k < end; ++k) {
+                if (source[k] == '\n') ++line;
+                blank(k);
+            }
+            line_has_code = true;
+            i = end;
+            continue;
+        }
+        // Ordinary string literal.
+        if (c == '"') {
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '"' && source[j] != '\n') {
+                if (source[j] == '\\' && j + 1 < n) ++j;
+                ++j;
+            }
+            if (j < n && source[j] == '"') ++j;
+            for (std::size_t k = i; k < j; ++k) blank(k);
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        // Character literal — but a ' preceded by an identifier/number
+        // character is a C++14 digit separator, not a literal.
+        if (c == '\'' && (i == 0 || !ident_char(source[i - 1]))) {
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '\'' && source[j] != '\n') {
+                if (source[j] == '\\' && j + 1 < n) ++j;
+                ++j;
+            }
+            if (j < n && source[j] == '\'') ++j;
+            for (std::size_t k = i; k < j; ++k) blank(k);
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+        ++i;
+    }
+    return out;
+}
+
+std::vector<token> tokenize(std::string_view code) {
+    std::vector<token> out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = code.size();
+    while (i < n) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (ident_start(c)) {
+            std::size_t j = i + 1;
+            while (j < n && ident_char(code[j])) ++j;
+            out.push_back({token_kind::identifier, code.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            // pp-number: digits, letters, dots, ' separators, and
+            // exponent signs. Good enough to keep 1e-9 in one token.
+            while (j < n &&
+                   (ident_char(code[j]) || code[j] == '.' || code[j] == '\'' ||
+                    ((code[j] == '+' || code[j] == '-') &&
+                     (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                      code[j - 1] == 'p' || code[j - 1] == 'P')))) {
+                ++j;
+            }
+            out.push_back({token_kind::number, code.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        static constexpr std::string_view two_char[] = {"::", "->", "+=",
+                                                        "[[", "]]"};
+        bool matched = false;
+        for (const auto op : two_char) {
+            if (code.compare(i, op.size(), op) == 0) {
+                out.push_back({token_kind::punct, code.substr(i, op.size()),
+                               line});
+                i += op.size();
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        out.push_back({token_kind::punct, code.substr(i, 1), line});
+        ++i;
+    }
+    return out;
+}
+
+}  // namespace csense::lint

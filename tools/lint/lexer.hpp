@@ -1,0 +1,61 @@
+// Lexical front end for csense_lint.
+//
+// The linter is tokenizer-based, not AST-based: it must never be
+// confused by comments, string literals (including raw strings) or
+// digit separators, but it does not need full C++ parsing — every rule
+// in the catalog is expressible over a token stream with small context
+// windows. scrub() strips comments and literals while preserving line
+// structure, and records every comment so the pragma layer
+// (`// csense-lint: allow(rule) -- justification`) can be resolved
+// against it. tokenize() then produces the identifier/punctuation
+// stream the rules in rules.cpp pattern-match.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csense::lint {
+
+/// One comment extracted from the source, positioned at the line its
+/// opening delimiter appeared on.
+struct comment {
+    int line = 1;          ///< 1-based line of the comment start
+    int end_line = 1;      ///< 1-based line of the comment end
+    std::string text;      ///< body without the // or /* */ delimiters
+    bool own_line = false; ///< only whitespace precedes it on its line
+};
+
+/// The scrubbed view of a translation unit: comments, string literals
+/// and character literals are replaced by spaces (newlines inside them
+/// are kept, so line numbers are stable) and collected separately.
+struct scrubbed_source {
+    std::string code;
+    std::vector<comment> comments;
+};
+
+/// Strips comments and literals. Handles //, /* */, "...", '...',
+/// raw strings (R"tag(...)tag" with encoding prefixes) and C++14
+/// digit separators (the ' in 1'000'000 is not a character literal).
+scrubbed_source scrub(std::string_view source);
+
+/// Token kinds the rules care about. Numbers are lexed (so 0x1p3 or
+/// 1e-9 never split into confusing fragments) but carry kind::number.
+enum class token_kind {
+    identifier,
+    number,
+    punct,
+};
+
+struct token {
+    token_kind kind = token_kind::punct;
+    std::string_view text;  ///< view into the scrubbed code buffer
+    int line = 1;           ///< 1-based line number
+};
+
+/// Tokenizes scrubbed code. Multi-character operators the rules need
+/// (`::`, `->`, `+=`, `[[`, `]]`) are single tokens; everything else
+/// punctuation-like is one character per token.
+std::vector<token> tokenize(std::string_view scrubbed_code);
+
+}  // namespace csense::lint

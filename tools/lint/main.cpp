@@ -1,0 +1,122 @@
+// csense_lint — the project's determinism/concurrency contract linter.
+//
+// Usage:
+//   csense_lint [--root DIR] [--json FILE] [--list-rules] [PATH...]
+//
+// With no PATHs, lints src/, bench/ and tests/ under --root (default:
+// the current directory), skipping tests/lint_fixtures/. Emits
+// `file:line: [id/name] message` per violation plus a summary, writes
+// an optional JSON report, and exits nonzero when anything fires.
+// --list-rules prints the rule catalog as the markdown table embedded
+// in docs/determinism.md (CI diffs the two).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/report/json.hpp"
+#include "tools/lint/rules.hpp"
+
+namespace {
+
+int usage(int code) {
+    std::cerr
+        << "usage: csense_lint [--root DIR] [--json FILE] [--list-rules]"
+           " [PATH...]\n"
+           "  PATHs default to src bench tests under --root.\n";
+    return code;
+}
+
+std::string rule_name(std::string_view id) {
+    for (const auto& r : csense::lint::rules()) {
+        if (r.id == id) return std::string(r.name);
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    namespace fs = std::filesystem;
+    fs::path root = fs::current_path();
+    std::string json_path;
+    std::vector<std::string> paths;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") return usage(0);
+        if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--root") {
+            if (++i >= argc) return usage(2);
+            root = argv[i];
+        } else if (arg == "--json") {
+            if (++i >= argc) return usage(2);
+            json_path = argv[i];
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "csense_lint: unknown option " << arg << "\n";
+            return usage(2);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+
+    if (list_rules) {
+        std::cout << csense::lint::list_rules_markdown();
+        return 0;
+    }
+
+    if (paths.empty()) paths = {"src", "bench", "tests"};
+    std::vector<fs::path> roots;
+    roots.reserve(paths.size());
+    for (const auto& p : paths) {
+        fs::path candidate = p;
+        if (candidate.is_relative()) candidate = root / candidate;
+        if (!fs::exists(candidate)) {
+            std::cerr << "csense_lint: no such path: "
+                      << candidate.generic_string() << "\n";
+            return 2;
+        }
+        roots.push_back(candidate);
+    }
+
+    std::size_t files_scanned = 0;
+    const auto violations =
+        csense::lint::lint_tree(roots, root, &files_scanned);
+
+    for (const auto& v : violations) {
+        std::cout << v.file << ":" << v.line << ": [" << v.rule << "/"
+                  << rule_name(v.rule) << "] " << v.message << "\n";
+    }
+    std::cout << files_scanned << " files scanned, " << violations.size()
+              << " violation" << (violations.size() == 1 ? "" : "s") << "\n";
+
+    if (!json_path.empty()) {
+        using csense::report::json_value;
+        json_value doc = json_value::object();
+        doc["schema"] = "csense-lint/1";
+        doc["files_scanned"] = static_cast<std::uint64_t>(files_scanned);
+        json_value list = json_value::array();
+        for (const auto& v : violations) {
+            json_value item = json_value::object();
+            item["file"] = std::string_view(v.file);
+            item["line"] = v.line;
+            item["rule"] = std::string_view(v.rule);
+            const std::string name = rule_name(v.rule);
+            item["name"] = std::string_view(name);
+            item["message"] = std::string_view(v.message);
+            list.push_back(std::move(item));
+        }
+        doc["violations"] = std::move(list);
+        std::ofstream out(json_path, std::ios::binary);
+        out << doc.dump(2) << "\n";
+        if (!out) {
+            std::cerr << "csense_lint: failed to write " << json_path << "\n";
+            return 2;
+        }
+    }
+    return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,813 @@
+#include "tools/lint/rules.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tools/lint/lexer.hpp"
+
+namespace csense::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalog
+
+const std::vector<rule_info>& catalog() {
+    static const std::vector<rule_info> table = {
+        {"R1", "nondeterminism-source",
+         "No banned nondeterminism sources: `std::random_device`, `rand()`/"
+         "`srand()`, `time()`, `clock()`, `*_clock::now()` outside the "
+         "timing-report whitelist (`bench/main.cpp`), pointer hashing "
+         "(`std::hash<T*>`), or `reinterpret_cast` to `(u)intptr_t`."},
+        {"R2", "raw-rng",
+         "No raw `<random>` engines or distributions (`std::mt19937`, "
+         "`std::uniform_*`, ...) outside `src/stats/rng.*`; all draws go "
+         "through the split-RNG facade `stats::rng`."},
+        {"R3", "unordered-iteration",
+         "No range-for or `begin()`/`end()` iteration over "
+         "`std::unordered_map`/`std::unordered_set` in result-producing "
+         "code; hash order varies across libraries and ASLR."},
+        {"R4", "loop-float-accumulation",
+         "Floating-point `+=` accumulation inside loops in `src/mac/` and "
+         "`src/sim/` must use `stats::kahan_sum` or carry a justified "
+         "allow-pragma."},
+        {"R5", "mutable-static",
+         "No mutable file-scope/`static`/`thread_local` state outside the "
+         "registered singletons (thread pool in `src/core/parallel.cpp`, "
+         "quadrature rule cache in `src/stats/quadrature.cpp`, scenario "
+         "registry in `bench/registry.cpp`)."},
+        {"LP", "lint-pragma",
+         "Every `csense-lint: allow(...)` pragma must name a known rule, "
+         "carry a non-empty justification, and actually suppress a "
+         "violation."},
+    };
+    return table;
+}
+
+const rule_info* find_rule(std::string_view id_or_name) {
+    for (const auto& r : catalog()) {
+        if (r.id == id_or_name || r.name == id_or_name) return &r;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Small path/token helpers
+
+bool path_ends_with(std::string_view path, std::string_view suffix) {
+    if (path.size() < suffix.size()) return false;
+    if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        return false;
+    }
+    // Require a path-component boundary so "xbench/main.cpp" never
+    // matches the "bench/main.cpp" whitelist.
+    const std::size_t at = path.size() - suffix.size();
+    return at == 0 || path[at - 1] == '/';
+}
+
+bool path_contains_dir(std::string_view path, std::string_view dir) {
+    // Matches "<dir>/" at the start or after a '/' anywhere in the path.
+    std::size_t pos = 0;
+    while ((pos = path.find(dir, pos)) != std::string_view::npos) {
+        const bool at_boundary = pos == 0 || path[pos - 1] == '/';
+        const bool ends_component = pos + dir.size() < path.size() &&
+                                    path[pos + dir.size()] == '/';
+        if (at_boundary && ends_component) return true;
+        ++pos;
+    }
+    return false;
+}
+
+using tokens_t = std::vector<token>;
+
+bool is_ident(const token& t, std::string_view text) {
+    return t.kind == token_kind::identifier && t.text == text;
+}
+
+bool is_punct(const token& t, std::string_view text) {
+    return t.kind == token_kind::punct && t.text == text;
+}
+
+/// Index of the token matching the opener at `open` (one of ( [ { <),
+/// or toks.size() when unbalanced.
+std::size_t match_forward(const tokens_t& toks, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (is_punct(toks[i], open_text)) ++depth;
+        if (is_punct(toks[i], close_text)) {
+            if (--depth == 0) return i;
+        }
+    }
+    return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+
+struct pragma {
+    int target_line = 0;  ///< line the suppression applies to
+    int source_line = 0;  ///< line the pragma comment sits on
+    std::string rule;     ///< normalized rule id ("R1".."R5")
+    bool used = false;
+};
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() &&
+           (std::isspace(static_cast<unsigned char>(s.front())) != 0)) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() &&
+           (std::isspace(static_cast<unsigned char>(s.back())) != 0)) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Per-line "does any code appear here" map, for resolving own-line
+/// pragmas onto the next code line.
+std::vector<bool> code_line_map(std::string_view code) {
+    std::vector<bool> has_code(2, false);  // 1-based; grow as needed
+    int line = 1;
+    for (const char c : code) {
+        if (c == '\n') {
+            ++line;
+            has_code.push_back(false);
+            continue;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+            has_code[static_cast<std::size_t>(line)] = true;
+        }
+    }
+    return has_code;
+}
+
+void parse_pragmas(std::string_view path, const scrubbed_source& src,
+                   std::vector<pragma>* pragmas,
+                   std::vector<violation>* out) {
+    const auto has_code = code_line_map(src.code);
+    const auto next_code_line = [&](int after) {
+        for (std::size_t l = static_cast<std::size_t>(after) + 1;
+             l < has_code.size(); ++l) {
+            if (has_code[l]) return static_cast<int>(l);
+        }
+        return 0;
+    };
+
+    for (const auto& cm : src.comments) {
+        const std::string_view text = cm.text;
+        const std::size_t at = text.find("csense-lint:");
+        if (at == std::string_view::npos) continue;
+        const auto lp = [&](std::string msg) {
+            out->push_back({std::string(path), cm.line, "LP", std::move(msg)});
+        };
+        std::string_view rest = trim(text.substr(at + 12));
+        if (rest.rfind("allow", 0) != 0) {
+            lp("malformed csense-lint pragma: expected 'allow(<rule>)'");
+            continue;
+        }
+        rest = trim(rest.substr(5));
+        if (rest.empty() || rest.front() != '(') {
+            lp("malformed csense-lint pragma: expected '(' after 'allow'");
+            continue;
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string_view::npos) {
+            lp("malformed csense-lint pragma: missing ')'");
+            continue;
+        }
+        const std::string_view rule_list = rest.substr(1, close - 1);
+        std::string_view justification = trim(rest.substr(close + 1));
+        while (!justification.empty() &&
+               (justification.front() == '-' || justification.front() == ':' ||
+                justification.front() == '=')) {
+            justification.remove_prefix(1);
+        }
+        justification = trim(justification);
+        if (justification.empty()) {
+            lp("csense-lint pragma is missing its justification text "
+               "(syntax: csense-lint: allow(<rule>) -- <why this is safe>)");
+            continue;
+        }
+        const int target =
+            cm.own_line ? next_code_line(cm.end_line) : cm.line;
+        // Split the comma-separated rule list.
+        std::size_t begin = 0;
+        while (begin <= rule_list.size()) {
+            std::size_t end = rule_list.find(',', begin);
+            if (end == std::string_view::npos) end = rule_list.size();
+            const std::string_view name =
+                trim(rule_list.substr(begin, end - begin));
+            begin = end + 1;
+            if (name.empty()) continue;
+            const rule_info* rule = find_rule(name);
+            if (rule == nullptr) {
+                lp("csense-lint pragma names unknown rule '" +
+                   std::string(name) + "' (see csense_lint --list-rules)");
+                continue;
+            }
+            if (rule->id == "LP") {
+                lp("the lint-pragma rule itself cannot be suppressed");
+                continue;
+            }
+            pragmas->push_back(
+                {target, cm.line, std::string(rule->id), false});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Declaration harvesting (identifier tables for R3/R4)
+
+struct decl_tables {
+    std::set<std::string, std::less<>> unordered_idents;
+    std::set<std::string, std::less<>> float_idents;
+};
+
+bool is_unordered_type(std::string_view ident) {
+    return ident == "unordered_map" || ident == "unordered_set" ||
+           ident == "unordered_multimap" || ident == "unordered_multiset";
+}
+
+bool is_float_type(std::string_view ident) {
+    return ident == "double" || ident == "float";
+}
+
+/// Skips cv/ref/pointer decoration between a type and its declarator.
+std::size_t skip_decoration(const tokens_t& toks, std::size_t i) {
+    while (i < toks.size() &&
+           (is_punct(toks[i], "&") || is_punct(toks[i], "*") ||
+            is_ident(toks[i], "const"))) {
+        ++i;
+    }
+    return i;
+}
+
+/// True when the token after a candidate declarator name means it is a
+/// variable/member/parameter, not a function or qualified name. A '('
+/// is a constructor call rather than a parameter list when its first
+/// argument starts with a literal (`vector<double> bins(4, 0.0)`).
+bool declares_variable(const tokens_t& toks, std::size_t after_name) {
+    if (after_name >= toks.size()) return false;
+    const token& t = toks[after_name];
+    if (is_punct(t, "(")) {
+        return after_name + 1 < toks.size() &&
+               toks[after_name + 1].kind == token_kind::number;
+    }
+    return is_punct(t, ";") || is_punct(t, "=") || is_punct(t, ",") ||
+           is_punct(t, ")") || is_punct(t, "{") || is_punct(t, "[");
+}
+
+void collect_decls(const tokens_t& toks, decl_tables* tables) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const token& t = toks[i];
+        if (t.kind != token_kind::identifier) continue;
+
+        // std::unordered_map<...> name   /  vector<double> name
+        const bool unordered = is_unordered_type(t.text);
+        const bool container = t.text == "vector" || t.text == "array" ||
+                               t.text == "deque" || t.text == "valarray";
+        if ((unordered || container) && i + 1 < toks.size() &&
+            is_punct(toks[i + 1], "<")) {
+            const std::size_t close = match_forward(toks, i + 1, "<", ">");
+            if (close >= toks.size()) continue;
+            bool element_float = false;
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (toks[j].kind == token_kind::identifier &&
+                    is_float_type(toks[j].text)) {
+                    element_float = true;
+                }
+            }
+            std::size_t name_at = skip_decoration(toks, close + 1);
+            if (name_at < toks.size() &&
+                toks[name_at].kind == token_kind::identifier &&
+                declares_variable(toks, name_at + 1)) {
+                if (unordered) {
+                    tables->unordered_idents.emplace(toks[name_at].text);
+                } else if (element_float) {
+                    tables->float_idents.emplace(toks[name_at].text);
+                }
+            }
+            continue;
+        }
+
+        // double name / float name (locals, members, parameters)
+        if (is_float_type(t.text)) {
+            // Not inside template args: handled above; a bare
+            // "double >" or "double ," in a template list fails the
+            // declarator test below anyway.
+            std::size_t name_at = skip_decoration(toks, i + 1);
+            if (name_at < toks.size() &&
+                toks[name_at].kind == token_kind::identifier &&
+                declares_variable(toks, name_at + 1)) {
+                tables->float_idents.emplace(toks[name_at].text);
+            }
+            continue;
+        }
+
+        // const auto& alias = <expr mentioning an unordered ident>;
+        // Reference bindings propagate "unordered-ness"; by-value
+        // copies (e.g. iterators from .find()) do not.
+        if (t.text == "auto" && i + 1 < toks.size() &&
+            (is_punct(toks[i + 1], "&"))) {
+            std::size_t name_at = i + 2;
+            if (name_at >= toks.size() ||
+                toks[name_at].kind != token_kind::identifier) {
+                continue;
+            }
+            if (name_at + 1 >= toks.size() ||
+                !is_punct(toks[name_at + 1], "=")) {
+                continue;
+            }
+            for (std::size_t j = name_at + 2;
+                 j < toks.size() && !is_punct(toks[j], ";"); ++j) {
+                if (toks[j].kind == token_kind::identifier &&
+                    tables->unordered_idents.count(toks[j].text) > 0) {
+                    tables->unordered_idents.emplace(toks[name_at].text);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1 — nondeterminism sources
+
+/// True when the call-looking identifier at `i` is a plain or
+/// std-qualified reference (not `obj.time(...)`, not `myns::time(...)`).
+bool plain_or_std_call(const tokens_t& toks, std::size_t i) {
+    if (i == 0) return true;
+    const token& prev = toks[i - 1];
+    if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+    if (is_punct(prev, "::")) {
+        return i >= 2 && is_ident(toks[i - 2], "std");
+    }
+    // A preceding type position means this is a declaration of a
+    // same-named function (`int time(int)`, `foo_t* clock(...)`), not a
+    // call. Expression keywords still read as calls.
+    if (prev.kind == token_kind::identifier) {
+        static const std::set<std::string_view> kExprKeywords = {
+            "return",   "throw",    "case", "co_return",
+            "co_await", "co_yield", "else", "do",
+        };
+        return kExprKeywords.count(prev.text) > 0;
+    }
+    if (is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&")) {
+        return false;
+    }
+    return true;
+}
+
+void scan_r1(std::string_view path, const tokens_t& toks,
+             std::vector<violation>* out) {
+    const bool timing_whitelisted = path_ends_with(path, "bench/main.cpp");
+    const auto add = [&](int line, const std::string& what) {
+        out->push_back(
+            {std::string(path), line, "R1",
+             "banned nondeterminism source " + what +
+                 "; every stochastic or time-like input must derive from "
+                 "the run seed (stats::rng) or the simulated clock"});
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const token& t = toks[i];
+        if (t.kind != token_kind::identifier) continue;
+
+        if (t.text == "random_device") {
+            add(t.line, "'std::random_device'");
+            continue;
+        }
+        const bool call_next =
+            i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+        if ((t.text == "rand" || t.text == "srand") && call_next &&
+            plain_or_std_call(toks, i)) {
+            add(t.line, "'" + std::string(t.text) + "()'");
+            continue;
+        }
+        if ((t.text == "time" || t.text == "clock") && call_next &&
+            plain_or_std_call(toks, i)) {
+            add(t.line, "'" + std::string(t.text) + "()'");
+            continue;
+        }
+        // <ident ending in clock> :: now  — wall-clock reads. Allowed
+        // only in the timing report (bench/main.cpp), which prints
+        // elapsed times that are explicitly excluded from determinism
+        // checks via --no-timings.
+        if (t.text.size() >= 5 &&
+            t.text.substr(t.text.size() - 5) == "clock" &&
+            i + 2 < toks.size() && is_punct(toks[i + 1], "::") &&
+            is_ident(toks[i + 2], "now")) {
+            if (!timing_whitelisted) {
+                add(t.line, "'" + std::string(t.text) + "::now()'");
+            }
+            continue;
+        }
+        // Address-derived values: hashing a pointer type or casting a
+        // pointer to an integer makes output depend on ASLR.
+        if (t.text == "hash" && i + 1 < toks.size() &&
+            is_punct(toks[i + 1], "<") && plain_or_std_call(toks, i)) {
+            const std::size_t close = match_forward(toks, i + 1, "<", ">");
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (is_punct(toks[j], "*")) {
+                    add(t.line, "'std::hash' over a pointer type");
+                    break;
+                }
+            }
+            continue;
+        }
+        if (t.text == "reinterpret_cast" && i + 1 < toks.size() &&
+            is_punct(toks[i + 1], "<")) {
+            const std::size_t close = match_forward(toks, i + 1, "<", ">");
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (toks[j].kind == token_kind::identifier &&
+                    (toks[j].text == "uintptr_t" ||
+                     toks[j].text == "intptr_t")) {
+                    add(t.line, "'reinterpret_cast' to (u)intptr_t");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2 — raw <random> engines/distributions outside the facade
+
+void scan_r2(std::string_view path, const tokens_t& toks,
+             std::vector<violation>* out) {
+    if (path_ends_with(path, "src/stats/rng.hpp") ||
+        path_ends_with(path, "src/stats/rng.cpp")) {
+        return;
+    }
+    static const std::set<std::string_view> banned = {
+        "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "ranlux24", "ranlux24_base", "ranlux48", "ranlux48_base",
+        "knuth_b", "default_random_engine",
+        "uniform_real_distribution", "uniform_int_distribution",
+        "normal_distribution", "lognormal_distribution",
+        "exponential_distribution", "bernoulli_distribution",
+        "poisson_distribution", "geometric_distribution",
+        "binomial_distribution", "gamma_distribution",
+        "weibull_distribution", "cauchy_distribution",
+        "chi_squared_distribution", "student_t_distribution",
+        "fisher_f_distribution", "discrete_distribution",
+        "piecewise_constant_distribution", "piecewise_linear_distribution",
+    };
+    for (const auto& t : toks) {
+        if (t.kind == token_kind::identifier && banned.count(t.text) > 0) {
+            out->push_back(
+                {std::string(path), t.line, "R2",
+                 "raw <random> engine/distribution '" + std::string(t.text) +
+                     "'; draw through the split-RNG facade "
+                     "(src/stats/rng.hpp) so every stream derives from the "
+                     "run seed and splits deterministically"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R3 — iteration over unordered containers
+
+void scan_r3(std::string_view path, const tokens_t& toks,
+             const decl_tables& tables, std::vector<violation>* out) {
+    if (tables.unordered_idents.empty()) return;
+    const auto add = [&](int line, std::string_view ident) {
+        out->push_back(
+            {std::string(path), line, "R3",
+             "iteration over unordered container '" + std::string(ident) +
+                 "': hash order is implementation- and ASLR-dependent, so "
+                 "any result folded from it is nondeterministic; iterate "
+                 "indices or a sorted view instead"});
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const bool loop_kw = is_ident(toks[i], "for") ||
+                             is_ident(toks[i], "while");
+        if (!loop_kw || i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) {
+            continue;
+        }
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        if (close >= toks.size()) continue;
+
+        // Range-for: the expression after the top-level ':'.
+        std::size_t colon = toks.size();
+        int depth = 0;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (is_punct(toks[j], "(") || is_punct(toks[j], "[") ||
+                is_punct(toks[j], "{")) {
+                ++depth;
+            }
+            if (is_punct(toks[j], ")") || is_punct(toks[j], "]") ||
+                is_punct(toks[j], "}")) {
+                --depth;
+            }
+            if (depth == 0 && is_punct(toks[j], ":")) {
+                colon = j;
+                break;
+            }
+        }
+        bool flagged = false;
+        if (colon < close) {
+            for (std::size_t j = colon + 1; j < close && !flagged; ++j) {
+                if (toks[j].kind == token_kind::identifier &&
+                    tables.unordered_idents.count(toks[j].text) > 0) {
+                    add(toks[i].line, toks[j].text);
+                    flagged = true;
+                }
+            }
+        }
+        // Iterator loops: <unordered>.begin()/.end()/… inside the
+        // loop header.
+        for (std::size_t j = i + 2; j + 2 < close && !flagged; ++j) {
+            if (toks[j].kind == token_kind::identifier &&
+                tables.unordered_idents.count(toks[j].text) > 0 &&
+                is_punct(toks[j + 1], ".") &&
+                (is_ident(toks[j + 2], "begin") ||
+                 is_ident(toks[j + 2], "cbegin") ||
+                 is_ident(toks[j + 2], "end") ||
+                 is_ident(toks[j + 2], "cend"))) {
+                add(toks[i].line, toks[j].text);
+                flagged = true;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4 — floating-point += accumulation in loops (src/mac, src/sim)
+
+/// Resolves the accumulated identifier to the left of a `+=` token:
+/// the trailing identifier of the lvalue path (`result.total_pps` ->
+/// total_pps, `arr[i]` -> arr).
+std::string_view lhs_ident(const tokens_t& toks, std::size_t plus_eq) {
+    if (plus_eq == 0) return {};
+    std::size_t i = plus_eq - 1;
+    if (is_punct(toks[i], "]")) {
+        int depth = 0;
+        while (true) {
+            if (is_punct(toks[i], "]")) ++depth;
+            if (is_punct(toks[i], "[")) {
+                if (--depth == 0) break;
+            }
+            if (i == 0) return {};
+            --i;
+        }
+        if (i == 0) return {};
+        --i;
+    }
+    if (toks[i].kind == token_kind::identifier) return toks[i].text;
+    return {};
+}
+
+void scan_r4(std::string_view path, const tokens_t& toks,
+             const decl_tables& tables, std::vector<violation>* out) {
+    if (!path_contains_dir(path, "src/mac") &&
+        !path_contains_dir(path, "src/sim")) {
+        return;
+    }
+    const auto add = [&](int line, std::string_view ident) {
+        out->push_back(
+            {std::string(path), line, "R4",
+             "floating-point accumulation '" + std::string(ident) +
+                 " +=' inside a loop: plain summation drifts and bakes the "
+                 "iteration order into the result; accumulate through "
+                 "stats::kahan_sum (src/stats/kahan.hpp)"});
+    };
+    const auto check_plus_eq = [&](std::size_t i) {
+        const std::string_view ident = lhs_ident(toks, i);
+        if (!ident.empty() && tables.float_idents.count(ident) > 0) {
+            add(toks[i].line, ident);
+        }
+    };
+
+    // Mark which '{' tokens open loop bodies, then track nesting.
+    std::set<std::size_t> loop_braces;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (is_ident(toks[i], "do") && i + 1 < toks.size() &&
+            is_punct(toks[i + 1], "{")) {
+            loop_braces.insert(i + 1);
+            continue;
+        }
+        const bool loop_kw = is_ident(toks[i], "for") ||
+                             is_ident(toks[i], "while");
+        if (!loop_kw || i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) {
+            continue;
+        }
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        if (close + 1 < toks.size() && is_punct(toks[close + 1], "{")) {
+            loop_braces.insert(close + 1);
+        } else {
+            // Braceless body: the single statement up to ';'.
+            for (std::size_t j = close + 1;
+                 j < toks.size() && !is_punct(toks[j], ";"); ++j) {
+                if (is_punct(toks[j], "+=")) check_plus_eq(j);
+            }
+        }
+    }
+    int loop_depth = 0;
+    std::vector<bool> brace_is_loop;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (is_punct(toks[i], "{")) {
+            const bool is_loop = loop_braces.count(i) > 0;
+            brace_is_loop.push_back(is_loop);
+            loop_depth += is_loop ? 1 : 0;
+            continue;
+        }
+        if (is_punct(toks[i], "}")) {
+            if (!brace_is_loop.empty()) {
+                loop_depth -= brace_is_loop.back() ? 1 : 0;
+                brace_is_loop.pop_back();
+            }
+            continue;
+        }
+        if (loop_depth > 0 && is_punct(toks[i], "+=")) check_plus_eq(i);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R5 — mutable static state
+
+void scan_r5(std::string_view path, const tokens_t& toks,
+             std::vector<violation>* out) {
+    static constexpr std::string_view whitelist[] = {
+        "src/core/parallel.cpp",   // the process-wide thread pool
+        "src/stats/quadrature.cpp",  // the quadrature rule cache
+        "bench/registry.cpp",      // the scenario registry
+    };
+    for (const auto w : whitelist) {
+        if (path_ends_with(path, w)) return;
+    }
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const token& t = toks[i];
+        const bool is_static = is_ident(t, "static");
+        const bool is_tls = is_ident(t, "thread_local");
+        if (!is_static && !is_tls) continue;
+        // Classify the declaration by scanning to the first structural
+        // terminator: '(' before ';'/'='/'{' means a function (never
+        // state); const/constexpr/constinit anywhere before it means
+        // immutable (fine).
+        bool immutable = false;
+        bool function = false;
+        std::string_view name;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            const token& u = toks[j];
+            if (is_ident(u, "const") || is_ident(u, "constexpr") ||
+                is_ident(u, "constinit") || is_ident(u, "consteval")) {
+                immutable = true;
+                break;
+            }
+            if (is_ident(u, "thread_local") || is_ident(u, "static")) {
+                continue;  // "static thread_local" in either order
+            }
+            if (is_punct(u, "(")) {
+                function = true;
+                break;
+            }
+            if (is_punct(u, ";") || is_punct(u, "=") || is_punct(u, "{")) {
+                break;
+            }
+            if (u.kind == token_kind::identifier) name = u.text;
+        }
+        if (immutable || function) continue;
+        out->push_back(
+            {std::string(path), t.line, "R5",
+             "mutable static state" +
+                 (name.empty() ? std::string()
+                               : " ('" + std::string(name) + "')") +
+                 ": shared mutable globals leak state across runs and "
+                 "threads; only the registered singletons (thread pool, "
+                 "quadrature rule cache, scenario registry) may hold "
+                 "static state"});
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+
+const std::vector<rule_info>& rules() { return catalog(); }
+
+std::string list_rules_markdown() {
+    std::ostringstream os;
+    os << "| Id | Pragma name | Enforces |\n";
+    os << "| --- | --- | --- |\n";
+    for (const auto& r : catalog()) {
+        os << "| " << r.id << " | `" << r.name << "` | " << r.summary
+           << " |\n";
+    }
+    return os.str();
+}
+
+std::vector<violation> lint_source(std::string_view path,
+                                   std::string_view content,
+                                   std::string_view header_context) {
+    const scrubbed_source src = scrub(content);
+    const tokens_t toks = tokenize(src.code);
+
+    decl_tables tables;
+    if (!header_context.empty()) {
+        const scrubbed_source header = scrub(header_context);
+        collect_decls(tokenize(header.code), &tables);
+    }
+    collect_decls(toks, &tables);
+
+    std::vector<violation> raw;
+    scan_r1(path, toks, &raw);
+    scan_r2(path, toks, &raw);
+    scan_r3(path, toks, tables, &raw);
+    scan_r4(path, toks, tables, &raw);
+    scan_r5(path, toks, &raw);
+
+    std::vector<pragma> pragmas;
+    std::vector<violation> out;
+    parse_pragmas(path, src, &pragmas, &out);
+
+    for (auto& v : raw) {
+        bool suppressed = false;
+        for (auto& p : pragmas) {
+            if (p.target_line == v.line && p.rule == v.rule) {
+                p.used = true;
+                suppressed = true;
+            }
+        }
+        if (!suppressed) out.push_back(std::move(v));
+    }
+    for (const auto& p : pragmas) {
+        if (p.used) continue;
+        const rule_info* rule = find_rule(p.rule);
+        out.push_back(
+            {std::string(path), p.source_line, "LP",
+             "allow-pragma for rule " + p.rule + " (" +
+                 std::string(rule != nullptr ? rule->name : "?") +
+                 ") suppresses nothing; remove it or move it next to the "
+                 "violating line"});
+    }
+    std::sort(out.begin(), out.end(), [](const violation& a,
+                                         const violation& b) {
+        if (a.line != b.line) return a.line < b.line;
+        return a.rule < b.rule;
+    });
+    return out;
+}
+
+std::vector<violation> lint_file(const std::filesystem::path& file) {
+    const auto read = [](const std::filesystem::path& p) -> std::string {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    };
+    std::string header;
+    if (file.extension() == ".cpp") {
+        std::filesystem::path sibling = file;
+        sibling.replace_extension(".hpp");
+        if (std::filesystem::exists(sibling)) header = read(sibling);
+    }
+    return lint_source(file.generic_string(), read(file), header);
+}
+
+std::vector<violation> lint_tree(
+    const std::vector<std::filesystem::path>& roots,
+    const std::filesystem::path& base, std::size_t* files_scanned) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& root : roots) {
+        if (!std::filesystem::exists(root)) continue;
+        if (std::filesystem::is_regular_file(root)) {
+            files.push_back(root);
+            continue;
+        }
+        for (auto it = std::filesystem::recursive_directory_iterator(root);
+             it != std::filesystem::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                it->path().filename() == "lint_fixtures") {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file()) continue;
+            const auto ext = it->path().extension();
+            if (ext == ".cpp" || ext == ".hpp") files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    if (files_scanned != nullptr) *files_scanned = files.size();
+
+    std::vector<violation> out;
+    for (const auto& f : files) {
+        auto vs = lint_file(f);
+        for (auto& v : vs) {
+            if (!base.empty()) {
+                const auto rel =
+                    std::filesystem::relative(f, base).generic_string();
+                if (!rel.empty() && rel.rfind("..", 0) != 0) v.file = rel;
+            }
+            out.push_back(std::move(v));
+        }
+    }
+    return out;
+}
+
+}  // namespace csense::lint

@@ -1,0 +1,78 @@
+// The csense_lint rule engine.
+//
+// Encodes the codebase's determinism and concurrency contracts as a
+// static rule catalog (see docs/determinism.md for the rationale):
+//
+//   R1 nondeterminism-source   banned entropy/clock/address sources
+//   R2 raw-rng                 std RNG engines/distributions outside
+//                              the split-RNG facade (src/stats/rng.*)
+//   R3 unordered-iteration     range/iterator loops over unordered
+//                              containers in result-producing code
+//   R4 loop-float-accumulation `+=` float accumulation inside loops in
+//                              src/mac/ and src/sim/ without
+//                              stats::kahan_sum
+//   R5 mutable-static          mutable file-scope/static state outside
+//                              the registered singletons
+//   LP lint-pragma             malformed allow-pragmas (unknown rule,
+//                              missing justification)
+//
+// Violations are suppressed line-by-line with
+//   // csense-lint: allow(<rule-name>) -- <justification>
+// where the justification text is mandatory. A pragma on its own line
+// applies to the next line that contains code; a trailing pragma
+// applies to its own line.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csense::lint {
+
+struct violation {
+    std::string file;     ///< path label as passed to lint_source
+    int line = 0;         ///< 1-based
+    std::string rule;     ///< "R1".."R5", "LP"
+    std::string message;
+};
+
+struct rule_info {
+    std::string_view id;       ///< "R3"
+    std::string_view name;     ///< "unordered-iteration" (pragma name)
+    std::string_view summary;  ///< one-line description for --list-rules
+};
+
+/// The full rule catalog, in id order.
+const std::vector<rule_info>& rules();
+
+/// Renders the catalog as the markdown table embedded in
+/// docs/determinism.md (CI diffs the two; keep byte-stable).
+std::string list_rules_markdown();
+
+/// Lints one translation unit. `path` is used both for reporting and
+/// for the path-scoped rule logic (R2's facade whitelist, R4's
+/// src/mac//src/sim scope, R5's singleton whitelist, R1's
+/// timing-report whitelist), so tests can exercise path-dependent
+/// behaviour with synthetic labels. `header_context`, when non-empty,
+/// is the text of the unit's sibling header: its declarations seed the
+/// identifier tables (unordered members, floating-point members) that
+/// R3/R4 resolve against.
+std::vector<violation> lint_source(std::string_view path,
+                                   std::string_view content,
+                                   std::string_view header_context = {});
+
+/// Lints a file on disk. For foo.cpp, a sibling foo.hpp (same
+/// directory) is read automatically as header context.
+std::vector<violation> lint_file(const std::filesystem::path& file);
+
+/// Recursively lints every .cpp/.hpp under each root, skipping any
+/// directory named "lint_fixtures" (the linter's own known-bad test
+/// corpus). Paths are reported relative to `base` when non-empty.
+/// `files_scanned`, when non-null, receives the file count.
+std::vector<violation> lint_tree(const std::vector<std::filesystem::path>& roots,
+                                 const std::filesystem::path& base = {},
+                                 std::size_t* files_scanned = nullptr);
+
+}  // namespace csense::lint

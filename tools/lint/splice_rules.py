@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Splice `csense_lint --list-rules` output (stdin) into a markdown file.
+
+Replaces everything between the `<!-- lint-rules:begin -->` and
+`<!-- lint-rules:end -->` markers in the file named by argv[1]. Used by
+the `docs_lint_rules` CMake target; CI then diffs the file, so the
+committed rule table can never go stale (same pattern as the scenario
+catalog).
+"""
+import sys
+
+BEGIN = "<!-- lint-rules:begin -->"
+END = "<!-- lint-rules:end -->"
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: csense_lint --list-rules | splice_rules.py DOC.md",
+              file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    table = sys.stdin.read().rstrip("\n")
+    with open(path, encoding="utf-8") as f:
+        doc = f.read()
+    try:
+        head, rest = doc.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        print(f"{path}: missing {BEGIN} / {END} markers", file=sys.stderr)
+        return 2
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(head + BEGIN + "\n" + table + "\n" + END + tail)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
