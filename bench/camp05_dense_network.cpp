@@ -166,8 +166,41 @@ CSENSE_SCENARIO_EX(camp05_dense_network,
         campaign.shard_size = 1;
         campaign.threads = ctx.threads;
         campaign.seed = ctx.seed ^ (0xca4905ULL + 1000ULL * pairs);
-        const auto outcomes = sim::run_replications<replication_outcome>(
-            campaign, [&](std::size_t, stats::rng& gen) {
+        // Each replication is a whole packet-level run (seconds to
+        // minutes at N = 2000), so completed replications checkpoint
+        // individually under --checkpoint: a killed sweep resumes at the
+        // first unfinished replication. encode/decode round-trip the
+        // outcome's doubles exactly (store::encode_doubles), keeping the
+        // resumed JSON byte-identical to an uninterrupted run.
+        const auto encode = [](const replication_outcome& o) {
+            const double fields[] = {
+                o.tuned_pps,          o.tuned_jain,
+                o.tuned_busy_rate,    o.adaptive_pps,
+                o.adaptive_jain,      o.adaptive_busy_rate,
+                o.adaptive_final_thr_dbm, o.culled_worstcase_dbm,
+                o.tuned_duty};
+            return store::encode_doubles(fields, 9);
+        };
+        const auto decode = [](std::string_view payload,
+                               replication_outcome& o) {
+            double fields[9];
+            if (!store::decode_doubles(payload, fields, 9)) return false;
+            o.tuned_pps = fields[0];
+            o.tuned_jain = fields[1];
+            o.tuned_busy_rate = fields[2];
+            o.adaptive_pps = fields[3];
+            o.adaptive_jain = fields[4];
+            o.adaptive_busy_rate = fields[5];
+            o.adaptive_final_thr_dbm = fields[6];
+            o.culled_worstcase_dbm = fields[7];
+            o.tuned_duty = fields[8];
+            return true;
+        };
+        const auto outcomes =
+            sim::run_replications_checkpointed<replication_outcome>(
+                campaign, ctx.checkpoint,
+                ctx.checkpoint_prefix + "/n" + std::to_string(pairs),
+                [&](std::size_t, stats::rng& gen) {
                 const auto topology = mac::sample_multi_pair_topology(
                     pairs, arena_m, rmax_m, gen);
                 const std::uint64_t sim_seed = gen.next();
@@ -210,7 +243,8 @@ CSENSE_SCENARIO_EX(camp05_dense_network,
                     static_cast<double>(
                         adaptive_run.final_cs_threshold_dbm.size());
                 return outcome;
-            });
+                },
+                encode, decode);
 
         const double n = static_cast<double>(outcomes.size());
         replication_outcome mean;

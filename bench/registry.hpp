@@ -8,12 +8,17 @@
 // catalog (name, description, runtime tier, scenario-specific knobs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/report/json.hpp"
+
+namespace csense::store {
+class result_store;
+}  // namespace csense::store
 
 namespace csense::bench {
 
@@ -33,6 +38,15 @@ enum class runtime_tier {
 /// Stable lower-case name ("fast" / "medium" / "slow" / "heavy").
 std::string_view tier_name(runtime_tier tier);
 
+/// Default per-scenario watchdog wall-clock budget for a tier, in
+/// milliseconds. Budgets are deliberately generous multiples of the
+/// tier's documented single-thread runtime (a loaded CI runner must
+/// never trip them on a healthy scenario); `fast_mode` (CSENSE_FAST=1)
+/// shrinks them alongside the simulation budgets. The csense_bench
+/// driver arms a watchdog with this budget per scenario and overrides
+/// it with --watchdog-ms.
+std::uint64_t tier_budget_ms(runtime_tier tier, bool fast_mode);
+
 /// Per-run state handed to each scenario.
 struct scenario_context {
     /// Base RNG seed (--seed). Scenarios must derive every stochastic
@@ -47,6 +61,24 @@ struct scenario_context {
     /// Headline numbers recorded by the scenario; emitted under
     /// "metrics" in the --json document, in insertion order.
     report::json_value metrics = report::json_value::object();
+
+    /// Cooperative cancellation token armed by the driver's scenario
+    /// watchdog; null when no watchdog runs. The same token is installed
+    /// process-wide via core::set_cancellation_token, so campaign shards
+    /// and expectation-engine chunks already observe it; scenarios with
+    /// long hand-rolled loops should call core::throw_if_cancelled()
+    /// periodically.
+    const std::atomic<bool>* cancel = nullptr;
+
+    /// Checkpoint store (--checkpoint <dir>); null when checkpointing is
+    /// off. Scenarios with expensive deterministic sub-units (campaign
+    /// replications) may persist them under keys prefixed with
+    /// `checkpoint_prefix` — see sim::run_replications_checkpointed.
+    store::result_store* checkpoint = nullptr;
+
+    /// Run-config fingerprint ("<scenario>?seed=..&env=..") that keys
+    /// this scenario's checkpoint records; sub-unit keys must extend it.
+    std::string checkpoint_prefix;
 
     /// Records one named metric (number, string or bool).
     void metric(std::string_view name, report::json_value value) {

@@ -1,18 +1,19 @@
 // Shared testbed-experiment driver for the §4 benches (Figures 10-13,
 // Tables 3-4). The short- and long-range datasets are expensive, and
-// several binaries view the same dataset; results are cached on disk
-// (keyed by configuration) so e.g. fig10, fig11 and tab03 compute the
-// ensemble once.
+// several binaries view the same dataset; results are cached in a
+// checksummed result store under ./csense_bench_cache/ (keyed by
+// configuration) so e.g. fig10, fig11 and tab03 compute the ensemble
+// once. A corrupt cache record is quarantined and recomputed, never
+// trusted (src/store/result_store.hpp).
 #pragma once
 
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <string>
 
 #include "bench/common.hpp"
+#include "src/store/result_store.hpp"
 #include "src/testbed/experiment.hpp"
 
 namespace csense::bench {
@@ -45,52 +46,75 @@ inline std::string cache_key(const testbed::experiment_config& cfg) {
     return key.str();
 }
 
-inline std::filesystem::path cache_path(const testbed::experiment_config& cfg,
-                                        bool short_range) {
-    return std::filesystem::path("csense_bench_cache") /
-           ((short_range ? std::string("short_") : std::string("long_")) +
-            cache_key(cfg) + ".tsv");
+/// Serialises an ensemble: one line with the category mean SNR, then one
+/// line of 14 space-separated fields per run, at full round-trip
+/// precision — a cached ensemble must reload to the exact doubles that
+/// were computed, or reruns would not be byte-identical (the bench
+/// determinism guarantee).
+inline std::string encode_ensemble(const testbed::experiment_result& result) {
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << result.category_snr_db << '\n';
+    for (const auto& r : result.runs) {
+        out << r.pair1.sender << ' ' << r.pair1.receiver << ' '
+            << r.pair2.sender << ' ' << r.pair2.receiver << ' ' << r.mux_pps
+            << ' ' << r.conc_pps << ' ' << r.cs_pps << ' ' << r.conc_pair1
+            << ' ' << r.conc_pair2 << ' ' << r.cs_pair1 << ' ' << r.cs_pair2
+            << ' ' << r.sender_rssi_db << ' ' << r.snr1_db << ' ' << r.snr2_db
+            << '\n';
+    }
+    return out.str();
 }
 
-/// Run (or load) the ensemble for one category.
+/// Inverse of encode_ensemble; false when the payload does not hold
+/// exactly `expected_runs` well-formed rows (a stale or foreign record:
+/// the caller recomputes).
+inline bool decode_ensemble(const std::string& payload, int expected_runs,
+                            testbed::experiment_result& result) {
+    std::istringstream in(payload);
+    if (!(in >> result.category_snr_db)) return false;
+    testbed::run_result r;
+    while (in >> r.pair1.sender >> r.pair1.receiver >> r.pair2.sender >>
+           r.pair2.receiver >> r.mux_pps >> r.conc_pps >> r.cs_pps >>
+           r.conc_pair1 >> r.conc_pair2 >> r.cs_pair1 >> r.cs_pair2 >>
+           r.sender_rssi_db >> r.snr1_db >> r.snr2_db) {
+        result.runs.push_back(r);
+    }
+    if (result.runs.size() != static_cast<std::size_t>(expected_runs)) {
+        result = {};
+        return false;
+    }
+    for (const auto& run : result.runs) {
+        result.avg_mux += run.mux_pps;
+        result.avg_conc += run.conc_pps;
+        result.avg_cs += run.cs_pps;
+        result.avg_optimal += run.optimal_pps();
+    }
+    const double n = static_cast<double>(result.runs.size());
+    result.avg_mux /= n;
+    result.avg_conc /= n;
+    result.avg_cs /= n;
+    result.avg_optimal /= n;
+    return true;
+}
+
+/// Run (or load) the ensemble for one category. The cache lives in a
+/// cwd-relative result store (./csense_bench_cache/): records carry a
+/// content checksum, so truncated/bit-flipped/torn cache files are
+/// quarantined and recomputed instead of poisoning the ensemble.
 inline testbed::experiment_result dataset(const scenario_context& ctx,
                                           bool short_range) {
     const auto cfg = bench_config(ctx, short_range);
-    const auto path = cache_path(cfg, short_range);
+    const std::string key =
+        (short_range ? std::string("short_") : std::string("long_")) +
+        cache_key(cfg);
 
     testbed::experiment_result result;
-    if (std::ifstream in{path}; in) {
-        std::string line;
-        std::getline(in, line);  // header
-        while (std::getline(in, line)) {
-            std::istringstream row(line);
-            testbed::run_result r;
-            row >> r.pair1.sender >> r.pair1.receiver >> r.pair2.sender >>
-                r.pair2.receiver >> r.mux_pps >> r.conc_pps >> r.cs_pps >>
-                r.conc_pair1 >> r.conc_pair2 >> r.cs_pair1 >> r.cs_pair2 >>
-                r.sender_rssi_db >> r.snr1_db >> r.snr2_db;
-            if (row) result.runs.push_back(r);
-        }
-        bool have_meta = false;
-        if (std::ifstream meta{path.string() + ".meta"}; meta) {
-            have_meta = static_cast<bool>(meta >> result.category_snr_db);
-        }
-        // Both the run table and the .meta sidecar must load; a cache
-        // with a missing/corrupt sidecar is recomputed, not trusted.
-        if (have_meta &&
-            result.runs.size() == static_cast<std::size_t>(cfg.runs)) {
-            for (const auto& r : result.runs) {
-                result.avg_mux += r.mux_pps;
-                result.avg_conc += r.conc_pps;
-                result.avg_cs += r.cs_pps;
-                result.avg_optimal += r.optimal_pps();
-            }
-            const double n = static_cast<double>(result.runs.size());
-            result.avg_mux /= n;
-            result.avg_conc /= n;
-            result.avg_cs /= n;
-            result.avg_optimal /= n;
-            std::printf("(loaded cached ensemble: %s)\n", path.c_str());
+    store::result_store cache("csense_bench_cache", "csense-testbed/1");
+    if (const auto payload = cache.load(key)) {
+        if (decode_ensemble(*payload, cfg.runs, result)) {
+            std::printf("(loaded cached ensemble: %s)\n",
+                        cache.path_for(key).c_str());
             return result;
         }
         result = {};
@@ -100,26 +124,7 @@ inline testbed::experiment_result dataset(const scenario_context& ctx,
                 cfg.runs, cfg.duration_s);
     const auto bed = testbed::make_default_testbed();
     result = testbed::run_experiment(bed, cfg);
-
-    std::error_code ec;
-    std::filesystem::create_directories(path.parent_path(), ec);
-    if (std::ofstream out{path}; out) {
-        // Full round-trip precision: a cached ensemble must reload to the
-        // exact doubles that were computed, or reruns would not be
-        // byte-identical (the bench determinism guarantee).
-        out << std::setprecision(17);
-        out << "s1 r1 s2 r2 mux conc cs c1 c2 cs1 cs2 rssi snr1 snr2\n";
-        for (const auto& r : result.runs) {
-            out << r.pair1.sender << ' ' << r.pair1.receiver << ' '
-                << r.pair2.sender << ' ' << r.pair2.receiver << ' '
-                << r.mux_pps << ' ' << r.conc_pps << ' ' << r.cs_pps << ' '
-                << r.conc_pair1 << ' ' << r.conc_pair2 << ' ' << r.cs_pair1
-                << ' ' << r.cs_pair2 << ' ' << r.sender_rssi_db << ' '
-                << r.snr1_db << ' ' << r.snr2_db << '\n';
-        }
-        std::ofstream meta{path.string() + ".meta"};
-        meta << std::setprecision(17) << result.category_snr_db << '\n';
-    }
+    cache.put(key, encode_ensemble(result));
     return result;
 }
 

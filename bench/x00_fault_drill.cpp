@@ -1,0 +1,64 @@
+// x00_fault_drill: a tiny scenario whose only job is to exercise the
+// runner's robustness machinery on demand (watchdog, degraded records,
+// exit taxonomy, checkpoint skip/recompute). The robustness tests and
+// the CI kill-and-resume smoke drive it via CSENSE_DRILL_MODE; the
+// default mode is a fast no-op so the drill is harmless in full sweeps.
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "bench/registry.hpp"
+#include "src/core/parallel.hpp"
+
+namespace {
+
+using csense::bench::scenario_context;
+
+long drill_ms() {
+    const char* env = std::getenv("CSENSE_DRILL_MS");
+    if (env == nullptr) return 10'000;
+    const long ms = std::atol(env);
+    return ms > 0 ? ms : 10'000;
+}
+
+}  // namespace
+
+CSENSE_SCENARIO_EX(x00_fault_drill,
+                   "Fault drill - exercises watchdog/degraded/checkpoint "
+                   "machinery (mode via CSENSE_DRILL_MODE)",
+                   csense::bench::runtime_tier::fast,
+                   "CSENSE_DRILL_MODE=ok|sleep|throw|fail (default ok); "
+                   "CSENSE_DRILL_MS=<n> sleep-mode duration (default "
+                   "10000)") {
+    const char* mode_env = std::getenv("CSENSE_DRILL_MODE");
+    const std::string mode = mode_env != nullptr ? mode_env : "ok";
+    csense::bench::print_header("x00_fault_drill",
+                                ("Fault drill, mode: " + mode).c_str());
+
+    if (mode == "throw") {
+        throw std::runtime_error("drill: injected scenario exception");
+    }
+    if (mode == "fail") {
+        ctx.metric("drill_mode", "fail");
+        return 1;  // a completed run whose acceptance gate failed
+    }
+    if (mode == "sleep") {
+        // Busy-wait in 5 ms slices with a cancellation check per slice,
+        // so the watchdog can unwind the scenario promptly. The loop is
+        // iteration-counted (no wall-clock read: the determinism linter
+        // bans clock reads outside the driver) — slices may oversleep,
+        // which only errs towards tripping the watchdog sooner.
+        const long slices = drill_ms() / 5;
+        for (long i = 0; i < slices; ++i) {
+            csense::core::throw_if_cancelled();
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        ctx.metric("drill_slices", static_cast<std::int64_t>(slices));
+        return 0;
+    }
+    ctx.metric("drill_mode", "ok");
+    return 0;
+}

@@ -25,7 +25,27 @@ int hardware_threads() {
     return n > 0 ? static_cast<int>(n) : 1;
 }
 
+// The installed cooperative cancellation token. Process-wide mutable
+// state is acceptable here (this file hosts the registered thread-pool
+// singleton): one scenario runs at a time, and the pointer itself is
+// atomic so a watchdog thread may fire the token while workers poll it.
+std::atomic<const std::atomic<bool>*> g_cancel_token{nullptr};
+
 }  // namespace
+
+void set_cancellation_token(const std::atomic<bool>* token) noexcept {
+    g_cancel_token.store(token, std::memory_order_release);
+}
+
+bool cancellation_requested() noexcept {
+    const std::atomic<bool>* token =
+        g_cancel_token.load(std::memory_order_acquire);
+    return token != nullptr && token->load(std::memory_order_acquire);
+}
+
+void throw_if_cancelled() {
+    if (cancellation_requested()) throw cancelled_error();
+}
 
 int resolve_threads(int requested) {
     if (requested < 0) {
@@ -90,6 +110,7 @@ struct thread_pool::impl {
             if (i >= j.count) break;
             if (j.failed.load(std::memory_order_relaxed)) continue;
             try {
+                throw_if_cancelled();
                 (*j.task)(i);
             } catch (...) {
                 std::scoped_lock lock(j.error_mutex);
@@ -156,7 +177,10 @@ void thread_pool::run(int threads, std::size_t count,
     if (threads == 1 || count == 1 || tls_on_worker || tls_in_run) {
         // Serial path: nested calls and single-threaded requests.
         // Exceptions propagate directly.
-        for (std::size_t i = 0; i < count; ++i) task(i);
+        for (std::size_t i = 0; i < count; ++i) {
+            throw_if_cancelled();
+            task(i);
+        }
         return;
     }
 

@@ -17,10 +17,38 @@
 // without deadlock.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
 
 namespace csense::core {
+
+/// Thrown at a cooperative cancellation point once the installed
+/// cancellation token fires (see set_cancellation_token). Scenario
+/// drivers catch it to mark the unit "degraded" and move on.
+class cancelled_error : public std::runtime_error {
+public:
+    cancelled_error()
+        : std::runtime_error("cooperative cancellation requested") {}
+};
+
+/// Installs a process-wide cooperative cancellation token (nullptr
+/// uninstalls). The token is observed at chunk boundaries inside
+/// thread_pool::run / parallel_for / parallel_reduce — the chokepoint
+/// every expectation-engine and campaign loop already runs through —
+/// and by any long serial loop that calls throw_if_cancelled()
+/// explicitly. Install/uninstall from the thread that owns the run;
+/// the watchdog (or any other thread) may set the token's flag at any
+/// time. Cancellation is cooperative: in-flight chunks run to
+/// completion, then cancelled_error propagates to the caller.
+void set_cancellation_token(const std::atomic<bool>* token) noexcept;
+
+/// True when a token is installed and has fired.
+bool cancellation_requested() noexcept;
+
+/// Throws cancelled_error when cancellation_requested().
+void throw_if_cancelled();
 
 /// Resolve a requested worker count: `requested > 0` is used as-is;
 /// `requested == 0` means the CSENSE_THREADS environment variable when

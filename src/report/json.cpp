@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace csense::report {
@@ -39,6 +40,275 @@ void append_indent(std::string& out, int indent, int depth) {
 }
 
 }  // namespace
+
+namespace {
+
+/// Recursive-descent parser over the subset json_value::dump emits.
+/// Number-kind selection mirrors the emitter so parse-then-dump is
+/// byte-stable: see json_value::parse's contract.
+class parser {
+public:
+    explicit parser(std::string_view text) : text_(text) {}
+
+    bool parse_document(json_value* out, std::string* error) {
+        skip_ws();
+        if (!parse_value(out, error)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) {
+            return fail(error, "trailing characters after document");
+        }
+        return true;
+    }
+
+private:
+    bool fail(std::string* error, std::string_view what) {
+        if (error != nullptr && error->empty()) {
+            *error = "json parse error at byte " + std::to_string(pos_) +
+                     ": " + std::string(what);
+        }
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    static void append_utf8(std::string* out, unsigned code_point) {
+        if (code_point < 0x80) {
+            out->push_back(static_cast<char>(code_point));
+        } else if (code_point < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code_point >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+        } else {
+            out->push_back(static_cast<char>(0xe0 | (code_point >> 12)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+        }
+    }
+
+    bool parse_string(std::string* out, std::string* error) {
+        if (!consume('"')) return fail(error, "expected '\"'");
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c != '\\') {
+                out->push_back(c);
+                ++pos_;
+                continue;
+            }
+            if (++pos_ >= text_.size()) break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out->push_back('"'); break;
+                case '\\': out->push_back('\\'); break;
+                case '/': out->push_back('/'); break;
+                case 'b': out->push_back('\b'); break;
+                case 'f': out->push_back('\f'); break;
+                case 'n': out->push_back('\n'); break;
+                case 'r': out->push_back('\r'); break;
+                case 't': out->push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        return fail(error, "truncated \\u escape");
+                    }
+                    unsigned code_point = 0;
+                    const auto res =
+                        std::from_chars(text_.data() + pos_,
+                                        text_.data() + pos_ + 4,
+                                        code_point, 16);
+                    if (res.ec != std::errc() ||
+                        res.ptr != text_.data() + pos_ + 4) {
+                        return fail(error, "bad \\u escape");
+                    }
+                    pos_ += 4;
+                    append_utf8(out, code_point);
+                    break;
+                }
+                default: return fail(error, "unknown escape");
+            }
+        }
+        return fail(error, "unterminated string");
+    }
+
+    bool parse_number(json_value* out, std::string* error) {
+        const std::size_t begin = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            const bool numeric = (c >= '0' && c <= '9') || c == '-' ||
+                                 c == '+' || c == '.' || c == 'e' || c == 'E';
+            if (!numeric) break;
+            ++pos_;
+        }
+        const std::string_view token = text_.substr(begin, pos_ - begin);
+        if (token.empty()) return fail(error, "expected a value");
+        // Kind selection must invert append_number/append_integer/
+        // append_uinteger byte-for-byte: anything with a fraction or
+        // exponent is a double; "-0" is the one integer-looking token
+        // only a double produces; the rest round-trip through (u)int64.
+        const bool has_double_syntax =
+            token.find_first_of(".eE") != std::string_view::npos ||
+            token == "-0";
+        if (has_double_syntax) {
+            double v = 0.0;
+            const auto res =
+                std::from_chars(token.data(), token.data() + token.size(), v);
+            if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+                return fail(error, "bad number");
+            }
+            *out = json_value(v);
+            return true;
+        }
+        if (!token.empty() && token.front() == '-') {
+            std::int64_t v = 0;
+            const auto res =
+                std::from_chars(token.data(), token.data() + token.size(), v);
+            if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+                return fail(error, "bad integer");
+            }
+            *out = json_value(v);
+            return true;
+        }
+        std::uint64_t u = 0;
+        const auto res =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+            return fail(error, "bad integer");
+        }
+        // Small magnitudes serialise identically from either kind; keep
+        // int64 (the emitter's common case) and reserve uint64 for the
+        // high range (e.g. 64-bit seeds).
+        if (u <= static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max())) {
+            *out = json_value(static_cast<std::int64_t>(u));
+        } else {
+            *out = json_value(u);
+        }
+        return true;
+    }
+
+    bool parse_value(json_value* out, std::string* error) {
+        skip_ws();
+        if (pos_ >= text_.size()) return fail(error, "unexpected end");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            *out = json_value::object();
+            skip_ws();
+            if (consume('}')) return true;
+            while (true) {
+                skip_ws();
+                std::string key;
+                if (!parse_string(&key, error)) return false;
+                skip_ws();
+                if (!consume(':')) return fail(error, "expected ':'");
+                json_value child;
+                if (!parse_value(&child, error)) return false;
+                (*out)[key] = std::move(child);
+                skip_ws();
+                if (consume(',')) continue;
+                if (consume('}')) return true;
+                return fail(error, "expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            *out = json_value::array();
+            skip_ws();
+            if (consume(']')) return true;
+            while (true) {
+                json_value child;
+                if (!parse_value(&child, error)) return false;
+                out->push_back(std::move(child));
+                skip_ws();
+                if (consume(',')) continue;
+                if (consume(']')) return true;
+                return fail(error, "expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parse_string(&s, error)) return false;
+            *out = json_value(std::string_view(s));
+            return true;
+        }
+        if (literal("true")) {
+            *out = json_value(true);
+            return true;
+        }
+        if (literal("false")) {
+            *out = json_value(false);
+            return true;
+        }
+        if (literal("null")) {
+            *out = json_value();
+            return true;
+        }
+        return parse_number(out, error);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<json_value> json_value::parse(std::string_view text,
+                                            std::string* error) {
+    json_value out;
+    parser p(text);
+    if (!p.parse_document(&out, error)) return std::nullopt;
+    return out;
+}
+
+const json_value* json_value::find(std::string_view key) const noexcept {
+    if (kind_ != kind::object) return nullptr;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key) return &values_[i];
+    }
+    return nullptr;
+}
+
+double json_value::to_double() const noexcept {
+    switch (kind_) {
+        case kind::number: return number_;
+        case kind::integer: return static_cast<double>(integer_);
+        case kind::uinteger: return static_cast<double>(uinteger_);
+        default: return 0.0;
+    }
+}
+
+std::int64_t json_value::to_int64() const noexcept {
+    switch (kind_) {
+        case kind::number: return static_cast<std::int64_t>(number_);
+        case kind::integer: return integer_;
+        case kind::uinteger: return static_cast<std::int64_t>(uinteger_);
+        default: return 0;
+    }
+}
 
 json_value json_value::array() {
     json_value v;

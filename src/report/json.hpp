@@ -3,10 +3,17 @@
 // are rendered with shortest-round-trip formatting (std::to_chars), so a
 // document built from the same values serialises to the same bytes on
 // every run — a property the bench determinism test relies on.
+//
+// `json_value::parse` is the inverse: it reads any document this class
+// emits back into an equivalent value, preserving key order and number
+// kinds so that dump(parse(dump(v))) == dump(v) byte-for-byte. The
+// checkpoint store uses this to splice previously-serialised scenario
+// records into a resumed run's document without changing a byte.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,9 +36,39 @@ public:
     static json_value array();
     static json_value object();
 
+    /// Parses one JSON document (the subset dump() emits: null, bool,
+    /// number, string, array, object). Returns std::nullopt and fills
+    /// `error` (when non-null) on malformed input or trailing garbage.
+    /// Number kinds are chosen so re-serialisation is byte-stable:
+    /// tokens with '.', 'e' or 'E' (and the literal "-0") become
+    /// doubles, other tokens become (u)int64.
+    static std::optional<json_value> parse(std::string_view text,
+                                           std::string* error = nullptr);
+
     bool is_null() const noexcept { return kind_ == kind::null; }
     bool is_array() const noexcept { return kind_ == kind::array; }
     bool is_object() const noexcept { return kind_ == kind::object; }
+    bool is_string() const noexcept { return kind_ == kind::string; }
+    bool is_number() const noexcept {
+        return kind_ == kind::number || kind_ == kind::integer ||
+               kind_ == kind::uinteger;
+    }
+
+    /// Object member lookup without insertion; null for non-objects and
+    /// missing keys.
+    const json_value* find(std::string_view key) const noexcept;
+
+    /// Array element access; requires is_array() and i < size().
+    const json_value& at(std::size_t i) const { return elements_.at(i); }
+
+    /// Numeric value widened to double (0.0 for non-numbers).
+    double to_double() const noexcept;
+
+    /// Numeric value narrowed to int64 (0 for non-numbers).
+    std::int64_t to_int64() const noexcept;
+
+    /// String payload ("" for non-strings).
+    const std::string& to_string_value() const noexcept { return string_; }
 
     /// Appends to an array (a null value becomes an array first).
     void push_back(json_value v);

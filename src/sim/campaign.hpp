@@ -25,11 +25,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/stats/rng.hpp"
+#include "src/store/result_store.hpp"
 
 namespace csense::sim {
 
@@ -83,6 +86,50 @@ std::vector<T> run_replications(const campaign_options& options,
         for (std::size_t i = begin; i < end; ++i) {
             stats::rng gen = base.split(static_cast<std::uint64_t>(i));
             results[i] = replicate(i, gen);
+        }
+    });
+    return results;
+}
+
+/// run_replications with a per-replication checkpoint: when `checkpoint`
+/// is non-null, replication i first tries to load
+/// `<key_prefix>/rep<i>` from the store and `decode` it; on a hit the
+/// replication is skipped, on a miss (or decode failure — a stale or
+/// foreign payload) it is computed as usual and the `encode`d result is
+/// stored before the call returns. Because every replication is
+/// deterministic in (seed, index), a run killed mid-campaign and
+/// restarted over the same store returns a vector bit-identical to an
+/// uninterrupted run: `encode`/`decode` MUST round-trip exactly (see
+/// store::encode_doubles). Replications shard across the pool, so the
+/// store sees concurrent traffic on distinct keys only. `encode` maps
+/// const T& -> std::string; `decode` maps (std::string_view, T&) ->
+/// bool.
+template <typename T, typename Replicate, typename Encode, typename Decode>
+std::vector<T> run_replications_checkpointed(const campaign_options& options,
+                                             store::result_store* checkpoint,
+                                             std::string_view key_prefix,
+                                             Replicate&& replicate,
+                                             Encode&& encode,
+                                             Decode&& decode) {
+    static_assert(!std::is_same_v<T, bool>,
+                  "run_replications<bool> would race on vector<bool> bits");
+    if (checkpoint == nullptr) {
+        return run_replications<T>(options,
+                                   std::forward<Replicate>(replicate));
+    }
+    std::vector<T> results(options.replications);
+    const stats::rng base(options.seed);
+    for_each_shard(options, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::string key =
+                std::string(key_prefix) + "/rep" + std::to_string(i);
+            if (const auto payload = checkpoint->load(key);
+                payload && decode(std::string_view(*payload), results[i])) {
+                continue;
+            }
+            stats::rng gen = base.split(static_cast<std::uint64_t>(i));
+            results[i] = replicate(i, gen);
+            checkpoint->put(key, encode(results[i]));
         }
     });
     return results;

@@ -2,7 +2,19 @@
 
 #include <stdexcept>
 
+#include "src/core/parallel.hpp"
+
 namespace csense::sim {
+namespace {
+
+// One cooperative cancellation check every 64k events: a packet-level
+// replication can run for minutes, and shard boundaries alone would
+// leave the bench watchdog waiting a whole replication before its
+// cancel unwinds. The mask keeps the hot loop at one branch + one
+// relaxed atomic load per slice.
+constexpr std::uint64_t kCancelCheckMask = (1u << 16) - 1;
+
+}  // namespace
 
 event_id simulator::schedule_in(time_us delay, std::function<void()> action) {
     if (delay < 0.0) throw std::invalid_argument("schedule_in: negative delay");
@@ -20,7 +32,9 @@ void simulator::run_until(time_us until) {
     while (auto next = queue_.pop_next_at_most(until)) {
         now_ = next->first;  // advance the clock before the action runs
         next->second();
-        ++executed_;
+        if ((++executed_ & kCancelCheckMask) == 0) {
+            core::throw_if_cancelled();
+        }
     }
     if (now_ < until) now_ = until;
 }
@@ -30,7 +44,9 @@ void simulator::run_all() {
         auto [at, action] = queue_.pop_next();
         now_ = at;
         action();
-        ++executed_;
+        if ((++executed_ & kCancelCheckMask) == 0) {
+            core::throw_if_cancelled();
+        }
     }
 }
 

@@ -1,13 +1,91 @@
-// Reporting utilities: tables, CSV escaping, and ASCII charts.
+// Reporting utilities: tables, CSV escaping, ASCII charts, and the JSON
+// parse/dump round trip the checkpoint machinery splices records with.
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
 
 #include "src/report/ascii_plot.hpp"
 #include "src/report/csv.hpp"
+#include "src/report/json.hpp"
 #include "src/report/table.hpp"
 
 namespace {
 
 using namespace csense::report;
+
+TEST(Json, ParsesScalarsAndStructure) {
+    const auto doc = json_value::parse(
+        "{\"a\": 1, \"b\": [true, false, null, \"s\"], \"c\": {\"d\": "
+        "-2.5}}");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->find("a")->to_int64(), 1);
+    const auto* b = doc->find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->is_array());
+    ASSERT_EQ(b->size(), 4u);
+    EXPECT_TRUE(b->at(2).is_null());
+    EXPECT_EQ(b->at(3).to_string_value(), "s");
+    EXPECT_DOUBLE_EQ(doc->find("c")->find("d")->to_double(), -2.5);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+    for (const char* bad :
+         {"", "{", "[1,]", "{\"k\" 1}", "tru", "1 2", "\"unterminated",
+          "[1] trailing", "nan", "--1", "+1"}) {
+        std::string error;
+        EXPECT_FALSE(json_value::parse(bad, &error).has_value())
+            << "accepted malformed input: " << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(Json, ParseDumpRoundTripIsByteStable) {
+    // The checkpoint contract: for any document this class emits,
+    // dump(parse(dump(v, 0)), 2) == dump(v, 2) byte-for-byte. Cover the
+    // tricky number kinds: integers, doubles whose shortest form looks
+    // integral (1e22), negative zero, uint64 beyond int64, escapes.
+    json_value doc = json_value::object();
+    doc["int"] = std::int64_t{-42};
+    doc["uint_big"] = std::uint64_t{18446744073709551615ull};
+    doc["dbl"] = 0.1;
+    doc["dbl_integral_form"] = 1e22;
+    doc["neg_zero"] = -0.0;
+    doc["tiny"] = 5e-324;
+    doc["nan_becomes_null"] = std::nan("");
+    doc["str"] = "quote \" backslash \\ newline \n tab \t";
+    json_value arr = json_value::array();
+    arr.push_back(1);
+    arr.push_back(2.5);
+    arr.push_back(true);
+    arr.push_back(json_value());
+    doc["arr"] = std::move(arr);
+    json_value nested = json_value::object();
+    nested["empty_obj"] = json_value::object();
+    nested["empty_arr"] = json_value::array();
+    doc["nested"] = std::move(nested);
+
+    for (const int indent : {0, 2}) {
+        const std::string bytes = doc.dump(indent);
+        const auto reparsed = json_value::parse(bytes);
+        ASSERT_TRUE(reparsed.has_value()) << bytes;
+        EXPECT_EQ(reparsed->dump(indent), bytes)
+            << "parse/dump round trip changed bytes at indent " << indent;
+        // The cross-indent contract the checkpoint splice relies on:
+        // a record stored compact must re-emit identically when the
+        // resumed document pretty-prints it.
+        const auto compact = json_value::parse(doc.dump(0));
+        ASSERT_TRUE(compact.has_value());
+        EXPECT_EQ(compact->dump(2), doc.dump(2));
+    }
+}
+
+TEST(Json, ParseHandlesUnicodeEscapes) {
+    const auto doc = json_value::parse("\"a\\u00e9\\u4e2d\\u0041\"");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->to_string_value(), "a\xc3\xa9\xe4\xb8\xad""A");
+}
 
 TEST(Table, RendersAlignedColumns) {
     text_table table({"Rmax", "D", "eff"});

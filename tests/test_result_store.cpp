@@ -1,0 +1,329 @@
+// The keyed result store (src/store/result_store.hpp) is the layer the
+// checkpoint/resume machinery trusts with campaign state, so every
+// corruption mode it claims to survive is injected here: truncation,
+// bit flips, torn writes (temp file written, rename never happened),
+// header damage and schema drift. The contract under fault is always
+// the same — detect, quarantine (never delete, never trust), report a
+// miss so the caller recomputes; never crash, never silently merge
+// corrupt bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/campaign.hpp"
+#include "src/store/result_store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using csense::store::fs_hooks;
+using csense::store::result_store;
+
+fs::path fresh_root(const char* name) {
+    const fs::path root = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(root);
+    return root;
+}
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::size_t quarantine_count(const result_store& store) {
+    std::size_t n = 0;
+    if (fs::exists(store.quarantine_dir())) {
+        for ([[maybe_unused]] const auto& entry :
+             fs::directory_iterator(store.quarantine_dir())) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+TEST(ResultStore, RoundTripsPayloads) {
+    result_store store(fresh_root("store_rt"), "test/1");
+    EXPECT_EQ(store.load("missing"), std::nullopt);
+    ASSERT_TRUE(store.put("alpha", "payload one"));
+    ASSERT_TRUE(store.put("beta", "payload\nwith\nnewlines\n"));
+    EXPECT_EQ(store.load("alpha"), "payload one");
+    EXPECT_EQ(store.load("beta"), "payload\nwith\nnewlines\n");
+    // Overwrite is in place, not append.
+    ASSERT_TRUE(store.put("alpha", "payload two"));
+    EXPECT_EQ(store.load("alpha"), "payload two");
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.writes, 3u);
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(ResultStore, EmptyPayloadAndBinaryBytesSurvive) {
+    result_store store(fresh_root("store_bin"), "test/1");
+    ASSERT_TRUE(store.put("empty", ""));
+    EXPECT_EQ(store.load("empty"), "");
+    std::string blob;
+    for (int i = 0; i < 256; ++i) blob += static_cast<char>(i);
+    ASSERT_TRUE(store.put("blob", blob));
+    EXPECT_EQ(store.load("blob"), blob);
+}
+
+TEST(ResultStore, DistinctKeysMapToDistinctFiles) {
+    result_store store(fresh_root("store_keys"), "test/1");
+    // Keys that sanitize to the same prefix must still be separated by
+    // the key-hash suffix in the filename.
+    EXPECT_NE(store.path_for("run/a"), store.path_for("run?a"));
+    ASSERT_TRUE(store.put("run/a", "A"));
+    ASSERT_TRUE(store.put("run?a", "B"));
+    EXPECT_EQ(store.load("run/a"), "A");
+    EXPECT_EQ(store.load("run?a"), "B");
+}
+
+TEST(ResultStore, RejectsUnusableKeys) {
+    result_store store(fresh_root("store_badkey"), "test/1");
+    EXPECT_THROW(store.put("", "x"), std::invalid_argument);
+    EXPECT_THROW(store.put("a\nb", "x"), std::invalid_argument);
+}
+
+TEST(ResultStore, TruncatedRecordQuarantinesAndRecomputes) {
+    result_store store(fresh_root("store_trunc"), "test/1");
+    ASSERT_TRUE(store.put("key", "a fairly long payload, truncated below"));
+    const fs::path file = store.path_for("key");
+    const std::string bytes = read_file(file);
+    // Simulate a crash mid-write of a non-atomic writer / filesystem
+    // truncation: drop the tail (including part of the payload).
+    std::ofstream(file, std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, bytes.size() - 10);
+    EXPECT_EQ(store.load("key"), std::nullopt) << "truncated record trusted";
+    EXPECT_FALSE(fs::exists(file)) << "corrupt record left in place";
+    EXPECT_EQ(quarantine_count(store), 1u);
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    // The recompute path: a fresh put overwrites cleanly and loads.
+    ASSERT_TRUE(store.put("key", "recomputed"));
+    EXPECT_EQ(store.load("key"), "recomputed");
+}
+
+TEST(ResultStore, BitFlippedPayloadQuarantines) {
+    result_store store(fresh_root("store_flip"), "test/1");
+    ASSERT_TRUE(store.put("key", "checksummed payload bytes"));
+    const fs::path file = store.path_for("key");
+    std::string bytes = read_file(file);
+    bytes[bytes.size() - 3] ^= 0x20;  // flip one bit inside the payload
+    std::ofstream(file, std::ios::binary | std::ios::trunc) << bytes;
+    EXPECT_EQ(store.load("key"), std::nullopt)
+        << "bit-flipped payload passed the checksum";
+    EXPECT_EQ(quarantine_count(store), 1u);
+}
+
+TEST(ResultStore, HeaderDamageQuarantines) {
+    for (const int damaged_line : {0, 1, 2, 3, 4}) {
+        result_store store(fresh_root("store_hdr"), "test/1");
+        ASSERT_TRUE(store.put("key", "payload"));
+        const fs::path file = store.path_for("key");
+        std::string bytes = read_file(file);
+        // Corrupt the first byte of header line `damaged_line` (magic,
+        // schema, key, payload_bytes, checksum).
+        std::size_t pos = 0;
+        for (int line = 0; line < damaged_line; ++line) {
+            pos = bytes.find('\n', pos) + 1;
+        }
+        bytes[pos] = '#';
+        std::ofstream(file, std::ios::binary | std::ios::trunc) << bytes;
+        EXPECT_EQ(store.load("key"), std::nullopt)
+            << "damaged header line " << damaged_line << " trusted";
+        EXPECT_EQ(quarantine_count(store), 1u)
+            << "damaged header line " << damaged_line << " not quarantined";
+    }
+}
+
+TEST(ResultStore, WrongKeyInRecordQuarantines) {
+    // A record renamed onto the wrong filename (operator error, backup
+    // restore gone wrong) self-identifies via its embedded key.
+    result_store store(fresh_root("store_misplaced"), "test/1");
+    ASSERT_TRUE(store.put("original", "payload"));
+    fs::rename(store.path_for("original"), store.path_for("other"));
+    EXPECT_EQ(store.load("other"), std::nullopt);
+    EXPECT_EQ(quarantine_count(store), 1u);
+}
+
+TEST(ResultStore, StaleSchemaIsAMissInPlaceNotQuarantine) {
+    const fs::path root = fresh_root("store_schema");
+    {
+        result_store v1(root, "test/1");
+        ASSERT_TRUE(v1.put("key", "old-schema payload"));
+    }
+    result_store v2(root, "test/2");
+    EXPECT_EQ(v2.load("key"), std::nullopt)
+        << "stale-schema record must read as a miss";
+    EXPECT_EQ(quarantine_count(v2), 0u)
+        << "stale records are not corrupt; they are overwritten in place";
+    EXPECT_TRUE(fs::exists(v2.path_for("key")));
+    ASSERT_TRUE(v2.put("key", "new-schema payload"));
+    EXPECT_EQ(v2.load("key"), "new-schema payload");
+    // The old store would now quarantine the new record, not trust it.
+    result_store v1(root, "test/1");
+    EXPECT_EQ(v1.load("key"), std::nullopt);
+}
+
+TEST(ResultStore, TornWriteLeavesPreviousRecordVisible) {
+    // Fault injection: the temp file is written but the process dies
+    // before the rename. The reader must still see the previous record
+    // (or a clean miss), never a half-written one.
+    fs_hooks hooks;
+    bool drop_rename = false;
+    hooks.rename_file = [&](const fs::path& from, const fs::path& to) {
+        if (drop_rename) return false;  // simulated kill before rename
+        std::error_code ec;
+        fs::rename(from, to, ec);
+        return !ec;
+    };
+    result_store store(fresh_root("store_torn"), "test/1", hooks);
+    ASSERT_TRUE(store.put("key", "generation 1"));
+    drop_rename = true;
+    EXPECT_FALSE(store.put("key", "generation 2"));
+    EXPECT_EQ(store.stats().write_failures, 1u);
+    EXPECT_EQ(store.load("key"), "generation 1")
+        << "torn write must not clobber the previous record";
+    drop_rename = false;
+    ASSERT_TRUE(store.put("key", "generation 2"));
+    EXPECT_EQ(store.load("key"), "generation 2");
+}
+
+TEST(ResultStore, ShortWriteFailsPutWithoutCorruptingStore) {
+    // Fault injection: the write itself is cut short (disk full, torn
+    // page). put must report failure and the key must stay a miss —
+    // the half-record never becomes visible under the real filename.
+    fs_hooks hooks;
+    bool truncate_writes = false;
+    hooks.write_file = [&](const fs::path& path, std::string_view data) {
+        if (truncate_writes) data = data.substr(0, data.size() / 2);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << data;
+        return static_cast<bool>(out);
+    };
+    result_store store(fresh_root("store_short"), "test/1", hooks);
+    truncate_writes = true;
+    // The truncated temp file still gets renamed into place by the real
+    // rename hook — exactly the torn-page shape load() must catch.
+    EXPECT_TRUE(store.put("key", "a payload that will be cut in half"));
+    EXPECT_EQ(store.load("key"), std::nullopt)
+        << "half-written record trusted";
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    truncate_writes = false;
+    ASSERT_TRUE(store.put("key", "intact"));
+    EXPECT_EQ(store.load("key"), "intact");
+}
+
+TEST(ResultStore, QuarantineKeepsEveryGeneration) {
+    result_store store(fresh_root("store_gen"), "test/1");
+    for (int gen = 0; gen < 3; ++gen) {
+        ASSERT_TRUE(store.put("key", "payload " + std::to_string(gen)));
+        const fs::path file = store.path_for("key");
+        std::string bytes = read_file(file);
+        bytes[bytes.size() - 1] ^= 1;
+        std::ofstream(file, std::ios::binary | std::ios::trunc) << bytes;
+        EXPECT_EQ(store.load("key"), std::nullopt);
+    }
+    EXPECT_EQ(quarantine_count(store), 3u)
+        << "quarantine must keep prior generations, not overwrite them";
+}
+
+TEST(ResultStore, EraseRemovesTheRecord) {
+    result_store store(fresh_root("store_erase"), "test/1");
+    ASSERT_TRUE(store.put("key", "payload"));
+    store.erase("key");
+    EXPECT_EQ(store.load("key"), std::nullopt);
+    store.erase("key");  // idempotent
+}
+
+TEST(ResultStore, EncodeDecodeDoublesIsExact) {
+    const std::vector<double> values = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        -123456.789,
+        1e-300,
+        -1e300,
+        5e-324,                                  // min subnormal
+        1.7976931348623157e308,                  // max finite
+        3.141592653589793,
+        std::nextafter(1.0, 2.0),
+    };
+    const std::string payload =
+        csense::store::encode_doubles(values.data(), values.size());
+    std::vector<double> round(values.size(), 42.0);
+    ASSERT_TRUE(csense::store::decode_doubles(payload, round.data(),
+                                              round.size()));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        // Bit-exact, including the sign of zero.
+        EXPECT_EQ(std::memcmp(&values[i], &round[i], sizeof(double)), 0)
+            << "value " << i << " did not round-trip exactly";
+    }
+}
+
+TEST(ResultStore, DecodeDoublesRejectsMalformedPayloads) {
+    double out[2];
+    EXPECT_FALSE(csense::store::decode_doubles("", out, 2));
+    EXPECT_FALSE(csense::store::decode_doubles("1.0", out, 2));
+    EXPECT_FALSE(csense::store::decode_doubles("1.0 2.0 3.0", out, 2));
+    EXPECT_FALSE(csense::store::decode_doubles("1.0 bogus", out, 2));
+    EXPECT_TRUE(csense::store::decode_doubles("1.0 2.0", out, 2));
+}
+
+TEST(ResultStore, CheckpointedReplicationsMatchUninterruptedBitwise) {
+    // The campaign-layer integration: a checkpointed run interrupted
+    // after k replications and resumed must return results bit-identical
+    // to both the uninterrupted checkpointed run and the plain
+    // run_replications baseline.
+    csense::sim::campaign_options options;
+    options.replications = 8;
+    options.shard_size = 2;
+    options.seed = 99;
+    const auto replicate = [](std::size_t i, csense::stats::rng& gen) {
+        return gen.uniform() + static_cast<double>(i);
+    };
+    const auto encode = [](const double& v) {
+        return csense::store::encode_doubles(&v, 1);
+    };
+    const auto decode = [](std::string_view payload, double& v) {
+        return csense::store::decode_doubles(payload, &v, 1);
+    };
+    const auto baseline =
+        csense::sim::run_replications<double>(options, replicate);
+
+    const fs::path root = fresh_root("store_campaign");
+    std::uint64_t computed_first;
+    {
+        result_store store(root, "test/1");
+        // "Interrupted" run: only replications [0, 4) get stored (a
+        // kill after the first shards completed).
+        csense::sim::campaign_options partial = options;
+        partial.replications = 4;
+        csense::sim::run_replications_checkpointed<double>(
+            partial, &store, "camp", replicate, encode, decode);
+        computed_first = store.stats().writes;
+    }
+    result_store store(root, "test/1");
+    const auto resumed =
+        csense::sim::run_replications_checkpointed<double>(
+            options, &store, "camp", replicate, encode, decode);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&baseline[i], &resumed[i], sizeof(double)), 0)
+            << "replication " << i << " diverged after resume";
+    }
+    EXPECT_EQ(computed_first, 4u);
+    EXPECT_EQ(store.stats().hits, 4u) << "resume must load completed shards";
+    EXPECT_EQ(store.stats().writes, 4u) << "resume must compute the rest";
+}
+
+}  // namespace
