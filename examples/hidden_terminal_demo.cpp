@@ -39,14 +39,14 @@ struct scenario {
     }
 
     void run(double data_mbps, double seconds) {
-        net.node(sender).set_traffic(traffic_mode::saturated_unicast, victim,
+        net.node(sender).set_traffic(traffic_mode::unicast, victim,
                                      rate_by_mbps(data_mbps), 1400);
         // The interferer sends short frames (54 Mb/s): it is off the air
         // often enough to hear the victim's CTS. A saturated interferer
         // with long frames is deaf to CTS most of the time, and RTS/CTS
         // can barely help - an instructive corner case in itself.
         net.node(interferer)
-            .set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+            .set_traffic(traffic_mode::broadcast, broadcast_id,
                          rate_by_mbps(54.0), 1400);
         net.run(seconds * 1e6);
     }

@@ -25,6 +25,10 @@ dcf_node::dcf_node(sim::simulator& sim, medium& med, mac_config config,
     last_external_power_dbm_ = med.radio().noise_floor_dbm;
 }
 
+dcf_node::~dcf_node() {
+    if (arrival_event_.has_value()) sim_.cancel(*arrival_event_);
+}
+
 void dcf_node::set_traffic(traffic_mode mode, node_id destination,
                            const capacity::phy_rate& rate, int payload_bytes) {
     if (payload_bytes <= 0) throw std::invalid_argument("dcf_node: payload");
@@ -34,15 +38,55 @@ void dcf_node::set_traffic(traffic_mode mode, node_id destination,
     payload_bytes_ = payload_bytes;
 }
 
+void dcf_node::set_traffic_model(const traffic_config& config) {
+    if (config.queue_capacity < 0) {
+        throw std::invalid_argument("dcf_node: queue_capacity");
+    }
+    traffic_model_ = config;
+    source_ = make_traffic_source(config);  // validates the rate knobs
+}
+
 void dcf_node::set_rate_adaptation(capacity::rate_adaptation* adapter) {
     adaptation_ = adapter;
 }
 
 void dcf_node::start() {
     if (traffic_ == traffic_mode::none) return;
-    state_ = state::contending;
-    new_packet();
-    reevaluate();
+    if (source_ == nullptr || source_->saturated()) {
+        // The historical always-backlogged path: refill inline, no
+        // arrival events — byte-identical to the pre-queue MAC.
+        state_ = state::contending;
+        new_packet();
+        head_enqueued_us_ = sim_.now();
+        reevaluate();
+        return;
+    }
+    // The arrival stream is a split child of the node RNG: deriving it
+    // consumes no draws, so installing an unsaturated source on one node
+    // cannot perturb any other node's backoff sequence.
+    arrival_rng_ = rng_.split("traffic");
+    schedule_next_arrival();
+}
+
+void dcf_node::schedule_next_arrival() {
+    const sim::time_us gap = source_->next_interarrival_us(arrival_rng_);
+    arrival_event_ = sim_.schedule_in(gap, [this] { on_arrival(); });
+}
+
+void dcf_node::on_arrival() {
+    ++stats_.offered_packets;
+    if (!have_packet_) {
+        head_enqueued_us_ = sim_.now();
+        state_ = state::contending;
+        new_packet();
+        reevaluate();
+    } else if (queue_.size() <
+               static_cast<std::size_t>(traffic_model_.queue_capacity)) {
+        queue_.push_back(sim_.now());
+    } else {
+        ++stats_.queue_drops;
+    }
+    schedule_next_arrival();
 }
 
 bool dcf_node::sense_enabled() const noexcept {
@@ -117,8 +161,8 @@ frame dcf_node::make_data_frame() {
     frame f;
     f.kind = frame_kind::data;
     f.src = id_;
-    f.dst = (traffic_ == traffic_mode::saturated_broadcast) ? broadcast_id
-                                                            : destination_;
+    f.dst = (traffic_ == traffic_mode::broadcast) ? broadcast_id
+                                                  : destination_;
     f.bytes = payload_bytes_;
     f.rate = packet_rate_;
     f.sequence = frame_sequence_;
@@ -155,7 +199,7 @@ double dcf_node::exchange_nav_us(const capacity::phy_rate& data_rate) const {
 }
 
 const capacity::phy_rate& dcf_node::current_data_rate() {
-    if (adaptation_ != nullptr && traffic_ == traffic_mode::saturated_unicast) {
+    if (adaptation_ != nullptr && traffic_ == traffic_mode::unicast) {
         return adaptation_->next_rate();
     }
     return *data_rate_;
@@ -189,18 +233,31 @@ void dcf_node::retry_packet() {
 }
 
 void dcf_node::packet_done(bool delivered) {
-    (void)delivered;
+    if (delivered && have_packet_) {
+        sojourn_.add(sim_.now() - head_enqueued_us_);
+    }
     have_packet_ = false;
     state_ = state::contending;
-    if (traffic_ != traffic_mode::none) {
+    if (traffic_ == traffic_mode::none) return;
+    if (source_ == nullptr || source_->saturated()) {
         new_packet();  // saturated sources always have a next packet
+        head_enqueued_us_ = sim_.now();
         reevaluate();
+        return;
     }
+    if (queue_.empty()) {
+        state_ = state::idle;  // drained; the next arrival restarts us
+        return;
+    }
+    head_enqueued_us_ = queue_.front();
+    queue_.pop_front();
+    new_packet();
+    reevaluate();
 }
 
 void dcf_node::begin_transmission() {
     cancel_timer();
-    if (rts_active() && traffic_ == traffic_mode::saturated_unicast) {
+    if (rts_active() && traffic_ == traffic_mode::unicast) {
         // NAV runs from the end of the RTS: CTS + DATA + ACK + 3 SIFS.
         frame rts = make_control_frame(frame_kind::rts, destination_,
                                        exchange_nav_us(*packet_rate_));
@@ -229,8 +286,24 @@ void dcf_node::start_response_timeout(state waiting_state,
     });
 }
 
+void dcf_node::queue_response(const frame& response,
+                              std::uint64_t node_stats::*counter) {
+    // Respond after SIFS, bypassing carrier sense (802.11 gives CTS/ACK
+    // the SIFS priority window); the re-check lets a response queued
+    // while we started transmitting be dropped silently.
+    pending_response_ = response;
+    response_queued_ = true;
+    sim_.schedule_in(ofdm_timing::sifs_us, [this, counter] {
+        if (response_queued_ && !medium_.transmitting(id_)) {
+            response_queued_ = false;
+            ++(stats_.*counter);
+            medium_.start_transmission(id_, pending_response_, false);
+        }
+    });
+}
+
 void dcf_node::note_unicast_outcome(bool delivered) {
-    if (traffic_ != traffic_mode::saturated_unicast) return;
+    if (traffic_ != traffic_mode::unicast) return;
     if (adaptation_ != nullptr && packet_rate_ != nullptr) {
         adaptation_->report(*packet_rate_, delivered,
                             capacity::frame_airtime_us(*packet_rate_,
@@ -335,38 +408,20 @@ void dcf_node::on_frame_received(const frame& f, double, double,
     switch (f.kind) {
         case frame_kind::data:
             if (for_me) {
-                // ACK after SIFS, bypassing carrier sense (802.11 ACKs own
-                // the SIFS priority window).
-                pending_response_ =
-                    make_control_frame(frame_kind::ack, f.src, 0.0);
-                response_queued_ = true;
-                sim_.schedule_in(ofdm_timing::sifs_us, [this] {
-                    if (response_queued_ && !medium_.transmitting(id_)) {
-                        response_queued_ = false;
-                        ++stats_.acks_sent;
-                        medium_.start_transmission(id_, pending_response_,
-                                                   false);
-                    }
-                });
+                queue_response(make_control_frame(frame_kind::ack, f.src, 0.0),
+                               &node_stats::acks_sent);
             }
             break;
         case frame_kind::rts:
             if (for_me && !medium_.transmitting(id_)) {
-                pending_response_ = make_control_frame(
-                    frame_kind::cts, f.src,
-                    f.nav_duration_us -
-                        capacity::frame_airtime_us(
-                            *control_rate_, control_frames::cts_bytes) -
-                        ofdm_timing::sifs_us);
-                response_queued_ = true;
-                sim_.schedule_in(ofdm_timing::sifs_us, [this] {
-                    if (response_queued_ && !medium_.transmitting(id_)) {
-                        response_queued_ = false;
-                        ++stats_.cts_sent;
-                        medium_.start_transmission(id_, pending_response_,
-                                                   false);
-                    }
-                });
+                queue_response(
+                    make_control_frame(
+                        frame_kind::cts, f.src,
+                        f.nav_duration_us -
+                            capacity::frame_airtime_us(
+                                *control_rate_, control_frames::cts_bytes) -
+                            ofdm_timing::sifs_us),
+                    &node_stats::cts_sent);
             } else if (!for_me && sense_enabled()) {
                 nav_until_ = std::max(nav_until_, sim_.now() + f.nav_duration_us);
                 reevaluate();
@@ -405,7 +460,7 @@ void dcf_node::on_tx_complete(const frame& f) {
     switch (f.kind) {
         case frame_kind::data:
             ++stats_.data_sent;
-            if (traffic_ == traffic_mode::saturated_broadcast) {
+            if (traffic_ == traffic_mode::broadcast) {
                 packet_done(true);
             } else {
                 const sim::time_us timeout =

@@ -7,20 +7,26 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "src/capacity/rate_adaptation.hpp"
 #include "src/mac/medium.hpp"
+#include "src/mac/traffic.hpp"
 #include "src/mac/wireless_config.hpp"
+#include "src/stats/quantile.hpp"
 
 namespace csense::mac {
 
-/// What the node transmits.
+/// How the node addresses its data frames. *What* arrives — saturated
+/// backlog or a stochastic offered load — is the traffic_config's
+/// business (set_traffic_model); the default is saturated.
 enum class traffic_mode {
-    none,                ///< pure receiver
-    saturated_broadcast, ///< the thesis' §4 measurement traffic
-    saturated_unicast,   ///< ACKed data to a fixed destination
+    none,       ///< pure receiver
+    broadcast,  ///< unacknowledged broadcast (the thesis' §4 traffic)
+    unicast,    ///< ACKed data to a fixed destination
 };
 
 /// Per-node MAC statistics.
@@ -28,6 +34,9 @@ struct node_stats {
     std::uint64_t data_sent = 0;       ///< data frames put on the air
     std::uint64_t data_acked = 0;      ///< unicast frames acknowledged
     std::uint64_t data_dropped = 0;    ///< unicast frames over retry limit
+    std::uint64_t offered_packets = 0; ///< arrivals presented by an
+                                       ///< unsaturated traffic source
+    std::uint64_t queue_drops = 0;     ///< arrivals lost to a full FIFO
     std::uint64_t rts_sent = 0;
     std::uint64_t cts_sent = 0;
     std::uint64_t acks_sent = 0;
@@ -44,14 +53,37 @@ public:
     dcf_node(sim::simulator& sim, medium& med, mac_config config,
              std::uint64_t seed);
 
+    /// Cancels any pending arrival event (the owning network's simulator
+    /// outlives its nodes, so teardown mid-run is safe).
+    ~dcf_node() override;
+
     node_id id() const noexcept { return id_; }
     const node_stats& stats() const noexcept { return stats_; }
     const mac_config& config() const noexcept { return config_; }
 
-    /// Configure traffic. `rate` is the data rate (control frames go at
-    /// 6 Mb/s). Must be called before the simulation starts.
+    /// Configure traffic addressing. `rate` is the data rate (control
+    /// frames go at 6 Mb/s). Must be called before the simulation
+    /// starts. The arrival process defaults to saturated; see
+    /// set_traffic_model.
     void set_traffic(traffic_mode mode, node_id destination,
                      const capacity::phy_rate& rate, int payload_bytes);
+
+    /// Configure the arrival process and queue capacity. Must be called
+    /// before the simulation starts; unsaturated arrivals draw from the
+    /// node's split "traffic" RNG stream, so the arrival sequence
+    /// depends only on the node seed and this config.
+    void set_traffic_model(const traffic_config& config);
+
+    /// Enqueue->delivery sojourn times (us) of every delivered packet:
+    /// queueing wait + contention + retries until the frame left the air
+    /// (broadcast) or was acknowledged (unicast). Saturated sources
+    /// record pure service times (they never wait in a queue).
+    const stats::streaming_quantiles& sojourn_times() const noexcept {
+        return sojourn_;
+    }
+
+    /// Packets currently waiting behind the one in service.
+    std::size_t queue_depth() const noexcept { return queue_.size(); }
 
     /// Optional rate adaptation (unicast only; overrides the fixed rate).
     /// The adapter must outlive the node.
@@ -120,7 +152,11 @@ private:
     void new_packet();
     void packet_done(bool delivered);
     void retry_packet();
+    void schedule_next_arrival();
+    void on_arrival();
     void start_response_timeout(state waiting_state, sim::time_us timeout);
+    void queue_response(const frame& response,
+                        std::uint64_t node_stats::*counter);
     frame make_data_frame();
     frame make_control_frame(frame_kind kind, node_id dst,
                              double nav_duration_us);
@@ -142,6 +178,16 @@ private:
     const capacity::phy_rate* control_rate_ = nullptr;
     int payload_bytes_ = 1400;
     capacity::rate_adaptation* adaptation_ = nullptr;
+
+    // Arrival process + FIFO queue. A null source behaves as saturated
+    // (nodes driven without start() keep the historical refill path).
+    traffic_config traffic_model_;
+    std::unique_ptr<traffic_source> source_;
+    stats::rng arrival_rng_;  ///< re-derived at start() via split("traffic")
+    std::deque<sim::time_us> queue_;  ///< enqueue timestamps, FIFO order
+    sim::time_us head_enqueued_us_ = 0.0;  ///< of the packet in service
+    std::optional<sim::event_id> arrival_event_;
+    stats::streaming_quantiles sojourn_;
 
     // Channel state.
     bool energy_busy_ = false;

@@ -160,6 +160,13 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
             "run_multi_pair: adapt.min_threshold_dbm must stay above "
             "radio.audibility_floor_dbm");
     }
+    if (config.rate_adapt != rate_adapt_mode::off && !config.unicast) {
+        throw std::invalid_argument(
+            "run_multi_pair: rate adaptation needs unicast ACK feedback");
+    }
+    // Declared before the network so the raw adapter pointers the nodes
+    // hold stay valid for the nodes' whole lifetime.
+    std::vector<std::unique_ptr<capacity::rate_adaptation>> adapters;
     network net(config.radio, config.seed);
     net.reserve_nodes(2 * n);
     mac_config sender_cfg;
@@ -190,9 +197,36 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
         }
     }
     for (std::size_t i = 0; i < n; ++i) {
-        net.node(senders[i])
-            .set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
-                         *config.rate, config.payload_bytes);
+        dcf_node& sender = net.node(senders[i]);
+        if (config.unicast) {
+            sender.set_traffic(traffic_mode::unicast, receivers[i],
+                               *config.rate, config.payload_bytes);
+        } else {
+            sender.set_traffic(traffic_mode::broadcast, broadcast_id,
+                               *config.rate, config.payload_bytes);
+        }
+        if (!config.traffic.saturated()) {
+            sender.set_traffic_model(config.traffic);
+        }
+        switch (config.rate_adapt) {
+            case rate_adapt_mode::off:
+                break;
+            case rate_adapt_mode::arf:
+                adapters.push_back(std::make_unique<capacity::arf>());
+                sender.set_rate_adaptation(adapters.back().get());
+                break;
+            case rate_adapt_mode::sample_rate:
+                // Per-sender probe stream keyed to the run seed and the
+                // pair index only, so shards and thread counts agree.
+                adapters.push_back(std::make_unique<capacity::sample_rate>(
+                    capacity::ofdm_rates(), config.payload_bytes,
+                    stats::rng(config.seed)
+                        .split("rate_adapt")
+                        .split(static_cast<std::uint64_t>(i))
+                        .next()));
+                sender.set_rate_adaptation(adapters.back().get());
+                break;
+        }
     }
 
     // When adaptation is off, no manager exists and no epoch events are
@@ -225,6 +259,18 @@ multi_pair_result run_multi_pair(const multi_pair_topology& topology,
     }
     result.total_pps = total_pps.value();
     result.counters = net.air().counters();
+    for (std::size_t i = 0; i < n; ++i) {  // pair-index order: deterministic
+        const dcf_node& sender = net.node(senders[i]);
+        result.sojourn_us.merge(sender.sojourn_times());
+        result.offered_packets += sender.stats().offered_packets;
+        result.queue_drops += sender.stats().queue_drops;
+        result.retry_drops += sender.stats().data_dropped;
+    }
+    if (result.offered_packets > 0) {
+        result.drop_rate =
+            static_cast<double>(result.queue_drops + result.retry_drops) /
+            static_cast<double>(result.offered_packets);
+    }
     if (adaptation) {
         result.final_cs_threshold_dbm = adaptation->thresholds_dbm();
         result.mean_threshold_trajectory_dbm =

@@ -19,6 +19,7 @@
 
 #include "src/mac/adaptive_cs.hpp"
 #include "src/mac/network.hpp"
+#include "src/stats/quantile.hpp"
 #include "src/stats/rng.hpp"
 
 namespace csense::mac {
@@ -41,6 +42,14 @@ multi_pair_topology sample_multi_pair_topology(int pairs, double arena_m,
                                                double rmax_m,
                                                stats::rng& gen);
 
+/// Which per-sender bitrate-adaptation algorithm a multi-pair run
+/// installs (unicast only: adaptation needs ACK feedback).
+enum class rate_adapt_mode {
+    off,          ///< the fixed config.rate for every pair
+    arf,          ///< Auto Rate Fallback success/failure counters
+    sample_rate,  ///< Bicket's SampleRate (per-sender split-RNG probing)
+};
+
 /// One simulated run's configuration.
 struct multi_pair_config {
     radio_config radio;
@@ -56,6 +65,18 @@ struct multi_pair_config {
     /// (off), in which case a run is byte-identical to one without any
     /// adaptation support compiled in.
     cs_adaptation_config adapt;
+
+    /// Arrival process + queue capacity of every sender. The default
+    /// (saturated) keeps the run byte-identical to the pre-queue MAC.
+    traffic_config traffic;
+
+    /// ACKed unicast to each pair's receiver instead of the historical
+    /// unacknowledged broadcast. Required for rate adaptation and for
+    /// retry/ACK semantics in the latency metrics.
+    bool unicast = false;
+
+    /// Bitrate adaptation per sender (requires unicast).
+    rate_adapt_mode rate_adapt = rate_adapt_mode::off;
 
     /// Symmetric link gain for a node pair at distance `dist_m`.
     double gain_db(double dist_m) const;
@@ -82,6 +103,22 @@ struct multi_pair_result {
     /// across-sender mean threshold after every adaptation epoch.
     std::vector<double> final_cs_threshold_dbm;
     std::vector<double> mean_threshold_trajectory_dbm;
+
+    /// Enqueue->delivery sojourn times of every delivered packet, merged
+    /// across senders in pair-index order (deterministic). For
+    /// unsaturated runs these are true queueing delays; saturated runs
+    /// record pure service times.
+    stats::streaming_quantiles sojourn_us;
+
+    /// Offered-load accounting summed over senders (unsaturated sources
+    /// only; saturated senders present no discrete arrivals).
+    std::uint64_t offered_packets = 0;
+    std::uint64_t queue_drops = 0;    ///< arrivals lost to full FIFOs
+    std::uint64_t retry_drops = 0;    ///< unicast frames over the retry limit
+
+    /// (queue_drops + retry_drops) / offered_packets; 0 when nothing was
+    /// offered (saturated runs).
+    double drop_rate = 0.0;
 
     /// Jain's fairness index over the per-pair throughputs.
     double jain_index() const noexcept;

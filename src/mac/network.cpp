@@ -59,9 +59,9 @@ pair_run_result run_two_pair_competition(
     net.set_link_gain_db(s2, r1, gains.s2_r1);
     net.set_link_gain_db(r1, r2, gains.r1_r2);
 
-    net.node(s1).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s1).set_traffic(traffic_mode::broadcast, broadcast_id,
                              rate1, payload_bytes);
-    net.node(s2).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s2).set_traffic(traffic_mode::broadcast, broadcast_id,
                              rate2, payload_bytes);
     net.run(duration_us);
 
@@ -86,7 +86,7 @@ double run_single_pair(const radio_config& radio, double sender_gain_db,
     const node_id s = net.add_node(cfg);
     const node_id r = net.add_node(cfg);
     net.set_link_gain_db(s, r, sender_gain_db);
-    net.node(s).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s).set_traffic(traffic_mode::broadcast, broadcast_id,
                             rate, payload_bytes);
     net.run(duration_us);
     const auto& by_src = net.node(r).stats().rx_decoded_by_src;

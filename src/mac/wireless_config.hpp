@@ -159,6 +159,44 @@ struct cs_adaptation_config {
     bool enabled() const noexcept { return policy != cs_adapt_policy::fixed; }
 };
 
+/// Arrival process of a node's offered traffic (src/mac/traffic.hpp
+/// turns this into a traffic_source).
+enum class traffic_model {
+    saturated,  ///< always backlogged: a new frame the instant one
+                ///< finishes (the historical behaviour, and the default)
+    poisson,    ///< memoryless arrivals at offered_load_pps
+    cbr,        ///< constant bit rate: fixed 1e6/offered_load_pps spacing
+    on_off,     ///< interrupted Poisson: exponential on/off envelope with
+                ///< Poisson arrivals while on, duty-cycle-scaled so the
+                ///< long-run mean is still offered_load_pps
+};
+
+/// Traffic + queue knobs of one node. The default (saturated, and any
+/// queue capacity) reproduces the pre-queue event sequence exactly: no
+/// arrival events are scheduled and the node refills inline.
+struct traffic_config {
+    traffic_model model = traffic_model::saturated;
+
+    /// Long-run mean offered load, packets/second. Ignored by the
+    /// saturated model; must be > 0 for every other model.
+    double offered_load_pps = 100.0;
+
+    /// on_off only: mean burst / silence durations of the exponential
+    /// envelope, microseconds.
+    double on_mean_us = 10'000.0;
+    double off_mean_us = 10'000.0;  ///< see on_mean_us
+
+    /// Finite FIFO capacity: packets that may wait behind the one in
+    /// service. Arrivals beyond this are dropped and counted
+    /// (node_stats::queue_drops).
+    int queue_capacity = 64;
+
+    /// True for the always-backlogged model (no arrival machinery).
+    bool saturated() const noexcept {
+        return model == traffic_model::saturated;
+    }
+};
+
 /// Per-node MAC behaviour.
 struct mac_config {
     cs_mode sense = cs_mode::energy_and_preamble;

@@ -1,0 +1,95 @@
+#include "src/stats/quantile.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace csense::stats {
+
+namespace {
+
+// Log-spaced bin edges over [0.1 us, 1e9 us] with ~5% geometric growth.
+// bin i covers [x0 * g^i, x0 * g^(i+1)); everything below clamps into
+// bin 0, everything at or above the top edge into the last bin.
+constexpr double k_x0 = 0.1;
+constexpr double k_growth = 1.05;
+// ceil(log(1e9 / 0.1) / log(1.05)) = 472 interior edges.
+constexpr std::size_t k_bins = 474;
+
+std::size_t bin_index(double x) noexcept {
+    if (!(x > k_x0)) return 0;
+    const double idx = std::log(x / k_x0) / std::log(k_growth);
+    const auto i = static_cast<std::size_t>(idx);
+    return std::min(i + 1, k_bins - 1);
+}
+
+double bin_midpoint(std::size_t i) noexcept {
+    if (i == 0) return k_x0 * 0.5;
+    const double lo = k_x0 * std::pow(k_growth, static_cast<double>(i - 1));
+    return lo * std::sqrt(k_growth);  // geometric midpoint of [lo, lo * g)
+}
+
+}  // namespace
+
+streaming_quantiles::streaming_quantiles() : bins_(k_bins, 0) {}
+
+void streaming_quantiles::add(double x) noexcept {
+    ++bins_[bin_index(x)];
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        abs_delta_sum_.add(std::abs(x - last_));
+        ++delta_count_;
+    }
+    last_ = x;
+    ++count_;
+    sum_.add(x);
+}
+
+void streaming_quantiles::merge(const streaming_quantiles& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < k_bins; ++i) bins_[i] += other.bins_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    delta_count_ += other.delta_count_;
+    last_ = other.last_;
+    sum_.add(other.sum_.value());
+    abs_delta_sum_.add(other.abs_delta_sum_.value());
+}
+
+double streaming_quantiles::quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank_real = q * static_cast<double>(count_);
+    auto rank = static_cast<std::uint64_t>(std::ceil(rank_real));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < k_bins; ++i) {
+        cumulative += bins_[i];
+        if (cumulative >= rank) return bin_midpoint(i);
+    }
+    return bin_midpoint(k_bins - 1);
+}
+
+double streaming_quantiles::mean() const noexcept {
+    if (count_ == 0) return 0.0;
+    return sum_.value() / static_cast<double>(count_);
+}
+
+double streaming_quantiles::jitter() const noexcept {
+    if (delta_count_ == 0) return 0.0;
+    return abs_delta_sum_.value() / static_cast<double>(delta_count_);
+}
+
+std::size_t streaming_quantiles::bin_count() noexcept { return k_bins; }
+
+}  // namespace csense::stats

@@ -164,10 +164,23 @@ TEST(LintR4, FiresInsideMacAndSimLoops) {
               (pairs{{"R4", 15}, {"R4", 20}, {"R4", 24}}));
 }
 
+TEST(LintR4, StreamingQuantilePathsAreInScope) {
+    // The quantile accumulator feeds merge-order-sensitive latency
+    // metrics, so its float sums are linted like the packet path.
+    const auto content = read_fixture("r4_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/stats/quantile.cpp", content)),
+              (pairs{{"R4", 15}, {"R4", 20}, {"R4", 24}}));
+    EXPECT_EQ(fired(lint_source("src/stats/quantile.hpp", content)),
+              (pairs{{"R4", 15}, {"R4", 20}, {"R4", 24}}));
+}
+
 TEST(LintR4, OutOfScopePathsAreExempt) {
     const auto content = read_fixture("r4_bad.cpp");
     EXPECT_EQ(fired(lint_source("src/core/r4_bad.cpp", content)), pairs{});
     EXPECT_EQ(fired(lint_source("bench/r4_bad.cpp", content)), pairs{});
+    // Only the quantile paths of src/stats/ are in scope; the rest of
+    // the stats library is order-insensitive math.
+    EXPECT_EQ(fired(lint_source("src/stats/solve.cpp", content)), pairs{});
 }
 
 TEST(LintR4, SiblingHeaderDeclaresTheAccumulator) {

@@ -197,9 +197,9 @@ TEST(Mac, ThresholdAsymmetryStarvesTheDeferrer) {
     net.set_link_gain_db(s2, r1, g.s2_r1);
     net.set_link_gain_db(r1, r2, g.r1_r2);
     const auto& rate = rate_by_mbps(24.0);
-    net.node(s1).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s1).set_traffic(traffic_mode::broadcast, broadcast_id,
                              rate, payload);
-    net.node(s2).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s2).set_traffic(traffic_mode::broadcast, broadcast_id,
                              rate, payload);
     net.run(run_us);
     const double sent_deaf =
@@ -234,9 +234,9 @@ TEST(Mac, DeferEventsCountedUnderContention) {
     net.set_link_gain_db(s1, r2, g.s1_r2);
     net.set_link_gain_db(s2, r1, g.s2_r1);
     net.set_link_gain_db(r1, r2, g.r1_r2);
-    net.node(s1).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s1).set_traffic(traffic_mode::broadcast, broadcast_id,
                              rate, payload);
-    net.node(s2).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s2).set_traffic(traffic_mode::broadcast, broadcast_id,
                              rate, payload);
     net.run(run_us);
     EXPECT_GT(net.node(s1).stats().defer_events, 0u);

@@ -36,7 +36,7 @@ TEST(Unicast, CleanLinkAcksEverything) {
     mac_config cfg;
     unicast_net u(cfg, 31);
     u.link(u.s1, u.r1, -60.0);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(24.0), payload);
     u.net.run(2e6);
     const auto& stats = u.net.node(u.s1).stats();
@@ -52,7 +52,7 @@ TEST(Unicast, UnicastSlowerThanBroadcastDueToAcks) {
     mac_config cfg;
     unicast_net u(cfg, 33);
     u.link(u.s1, u.r1, -60.0);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(24.0), payload);
     u.net.run(2e6);
     const double unicast_pps = u.net.node(u.s1).stats().data_acked / 2.0;
@@ -67,7 +67,7 @@ TEST(Unicast, LossyLinkRetriesAndDrops) {
     mac_config cfg;
     unicast_net u(cfg, 35);
     u.link(u.s1, u.r1, -104.0);  // SNR 6 dB: lossy at 12 Mb/s
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(12.0), payload);
     u.net.run(3e6);
     const auto& stats = u.net.node(u.s1).stats();
@@ -80,7 +80,7 @@ TEST(Unicast, StaticRtsCtsExchangesAndDelivers) {
     cfg.use_rts_cts = true;
     unicast_net u(cfg, 37);
     u.link(u.s1, u.r1, -60.0);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(24.0), payload);
     u.net.run(2e6);
     const auto& s = u.net.node(u.s1).stats();
@@ -92,7 +92,7 @@ TEST(Unicast, StaticRtsCtsExchangesAndDelivers) {
     mac_config plain;
     unicast_net v(plain, 37);
     v.link(v.s1, v.r1, -60.0);
-    v.net.node(v.s1).set_traffic(traffic_mode::saturated_unicast, v.r1,
+    v.net.node(v.s1).set_traffic(traffic_mode::unicast, v.r1,
                                  rate_by_mbps(24.0), payload);
     v.net.run(2e6);
     EXPECT_LT(s.data_acked, v.net.node(v.s1).stats().data_acked);
@@ -106,9 +106,9 @@ TEST(Unicast, HiddenTerminalUnicastSuffersWithoutRts) {
     u.link(u.s2, u.r1, -75.0);
     u.link(u.s1, u.s2, -120.0);
     u.link(u.s2, u.r2, -60.0);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(24.0), payload);
-    u.net.node(u.s2).set_traffic(traffic_mode::saturated_broadcast,
+    u.net.node(u.s2).set_traffic(traffic_mode::broadcast,
                                  broadcast_id, rate_by_mbps(24.0), payload);
     u.net.run(3e6);
     const auto& stats = u.net.node(u.s1).stats();
@@ -127,9 +127,9 @@ TEST(Unicast, AdaptiveRtsHeuristicActivatesOnHiddenTerminal) {
     u.link(u.s2, u.r2, -60.0);
     // R1's CTS is audible at S2, so the NAV can silence the interferer.
     u.link(u.r1, u.s2, -75.0);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(24.0), payload);
-    u.net.node(u.s2).set_traffic(traffic_mode::saturated_broadcast,
+    u.net.node(u.s2).set_traffic(traffic_mode::broadcast,
                                  broadcast_id, rate_by_mbps(24.0), payload);
     EXPECT_FALSE(u.net.node(u.s1).rts_active());
     u.net.run(3e6);
@@ -142,7 +142,7 @@ TEST(Unicast, AdaptiveRtsStaysOffOnCleanLink) {
     cfg.adaptive_rts_cts = true;
     unicast_net u(cfg, 43);
     u.link(u.s1, u.r1, -60.0);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(24.0), payload);
     u.net.run(2e6);
     EXPECT_FALSE(u.net.node(u.s1).rts_active());
@@ -159,9 +159,9 @@ TEST(Unicast, AdaptiveRtsImprovesHiddenTerminalGoodput) {
         u.link(u.s1, u.s2, -120.0);
         u.link(u.s2, u.r2, -60.0);
         u.link(u.r1, u.s2, -75.0);
-        u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+        u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                      rate_by_mbps(24.0), payload);
-        u.net.node(u.s2).set_traffic(traffic_mode::saturated_broadcast,
+        u.net.node(u.s2).set_traffic(traffic_mode::broadcast,
                                      broadcast_id, rate_by_mbps(24.0),
                                      payload);
         u.net.run(4e6);
@@ -178,7 +178,7 @@ TEST(Unicast, SampleRateAdaptsOverAckFeedback) {
     u.link(u.s1, u.r1, -90.0);  // SNR 20 dB: 24/36 Mb/s territory
     csense::capacity::sample_rate adapter(csense::capacity::ofdm_rates(),
                                           payload, 3);
-    u.net.node(u.s1).set_traffic(traffic_mode::saturated_unicast, u.r1,
+    u.net.node(u.s1).set_traffic(traffic_mode::unicast, u.r1,
                                  rate_by_mbps(6.0), payload);
     u.net.node(u.s1).set_rate_adaptation(&adapter);
     u.net.run(4e6);

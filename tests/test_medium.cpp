@@ -55,7 +55,7 @@ TEST(Medium, LogCompactionFiresAndLaterFramesStillDeliver) {
     const auto s = net.add_node(mac_config{});
     const auto r = net.add_node(mac_config{});
     net.set_link_gain_db(s, r, -60.0);
-    net.node(s).set_traffic(traffic_mode::saturated_broadcast, broadcast_id,
+    net.node(s).set_traffic(traffic_mode::broadcast, broadcast_id,
                             rate_by_mbps(54.0), 1400);
 
     net.run(2e6);

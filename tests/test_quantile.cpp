@@ -1,0 +1,117 @@
+// The deterministic streaming quantile accumulator: bin resolution,
+// quantile/mean/jitter semantics, and exact mergeability (the property
+// the campaign layer's shard-order-invariant aggregation relies on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/stats/quantile.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using csense::stats::rng;
+using csense::stats::streaming_quantiles;
+
+TEST(Quantile, EmptyReportsZeros) {
+    streaming_quantiles q;
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.quantile(0.5), 0.0);
+    EXPECT_EQ(q.mean(), 0.0);
+    EXPECT_EQ(q.jitter(), 0.0);
+    EXPECT_EQ(q.min(), 0.0);
+    EXPECT_EQ(q.max(), 0.0);
+}
+
+TEST(Quantile, SingleSample) {
+    streaming_quantiles q;
+    q.add(250.0);
+    EXPECT_EQ(q.count(), 1u);
+    EXPECT_EQ(q.mean(), 250.0);
+    EXPECT_EQ(q.min(), 250.0);
+    EXPECT_EQ(q.max(), 250.0);
+    EXPECT_EQ(q.jitter(), 0.0);  // needs two samples
+    // The estimate is the bin's geometric midpoint: within the ~5% bin
+    // width of the true value.
+    EXPECT_NEAR(q.quantile(0.5), 250.0, 250.0 * 0.05);
+}
+
+TEST(Quantile, QuantilesTrackTrueSampleQuantilesWithinBinResolution) {
+    streaming_quantiles q;
+    rng gen(42);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = gen.exponential(1.0 / 800.0);  // mean 800 us
+        samples.push_back(x);
+        q.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double p : {0.1, 0.5, 0.9, 0.99}) {
+        const auto rank = static_cast<std::size_t>(p * samples.size());
+        const double truth = samples[std::min(rank, samples.size() - 1)];
+        EXPECT_NEAR(q.quantile(p), truth, truth * 0.06)
+            << "quantile " << p;
+    }
+    EXPECT_NEAR(q.mean(), 800.0, 40.0);
+}
+
+TEST(Quantile, ExtremesClampIntoEdgeBins) {
+    streaming_quantiles q;
+    q.add(0.0);     // below the lowest edge
+    q.add(-5.0);    // nonsense input: still clamps, never UB
+    q.add(1e12);    // beyond the top edge
+    EXPECT_EQ(q.count(), 3u);
+    EXPECT_GT(q.quantile(1.0), 1e8);  // top bin midpoint
+    EXPECT_LT(q.quantile(0.0), 0.1);  // bottom bin midpoint
+}
+
+TEST(Quantile, JitterIsMeanAbsConsecutiveDelta) {
+    streaming_quantiles q;
+    for (const double x : {100.0, 200.0, 100.0, 200.0}) q.add(x);
+    EXPECT_DOUBLE_EQ(q.jitter(), 100.0);
+    EXPECT_DOUBLE_EQ(q.mean(), 150.0);
+}
+
+TEST(Quantile, MergeMatchesSingleStreamExactly) {
+    // Counts are integers and bins are fixed, so a merge in index order
+    // must reproduce the single-stream quantiles bit-for-bit - this is
+    // the thread-count-invariance property campaigns lean on.
+    streaming_quantiles whole, left, right;
+    rng gen(7);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = gen.exponential(1.0 / 300.0);
+        whole.add(x);
+        (i < 2500 ? left : right).add(x);
+    }
+    streaming_quantiles merged;
+    merged.merge(left);
+    merged.merge(right);
+    EXPECT_EQ(merged.count(), whole.count());
+    for (const double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+        EXPECT_EQ(merged.quantile(p), whole.quantile(p)) << "quantile " << p;
+    }
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+    // Jitter: the merge drops exactly the one cross-boundary delta.
+    EXPECT_NEAR(merged.jitter(), whole.jitter(), whole.jitter() * 0.01);
+    // Merging an empty accumulator changes nothing.
+    streaming_quantiles empty;
+    merged.merge(empty);
+    EXPECT_EQ(merged.quantile(0.5), whole.quantile(0.5));
+}
+
+TEST(Quantile, MonotoneInQ) {
+    streaming_quantiles q;
+    rng gen(11);
+    for (int i = 0; i < 1000; ++i) q.add(gen.uniform(10.0, 1e5));
+    double prev = 0.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double v = q.quantile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+}  // namespace

@@ -31,9 +31,10 @@ const std::vector<rule_info>& catalog() {
          "`std::unordered_map`/`std::unordered_set` in result-producing "
          "code; hash order varies across libraries and ASLR."},
         {"R4", "loop-float-accumulation",
-         "Floating-point `+=` accumulation inside loops in `src/mac/` and "
-         "`src/sim/` must use `stats::kahan_sum` or carry a justified "
-         "allow-pragma."},
+         "Floating-point `+=` accumulation inside loops in `src/mac/`, "
+         "`src/sim/` and the streaming-quantile paths "
+         "(`src/stats/quantile.*`) must use `stats::kahan_sum` or carry a "
+         "justified allow-pragma."},
         {"R5", "mutable-static",
          "No mutable file-scope/`static`/`thread_local` state outside the "
          "registered singletons (thread pool in `src/core/parallel.cpp`, "
@@ -564,8 +565,14 @@ std::string_view lhs_ident(const tokens_t& toks, std::size_t plus_eq) {
 
 void scan_r4(std::string_view path, const tokens_t& toks,
              const decl_tables& tables, std::vector<violation>* out) {
+    // The streaming-quantile accumulator feeds merge-order-sensitive
+    // latency metrics (camp06), so its float sums are held to the same
+    // standard as the packet path; the rest of src/stats/ is
+    // order-insensitive math and stays out of scope.
     if (!path_contains_dir(path, "src/mac") &&
-        !path_contains_dir(path, "src/sim")) {
+        !path_contains_dir(path, "src/sim") &&
+        !path_ends_with(path, "src/stats/quantile.hpp") &&
+        !path_ends_with(path, "src/stats/quantile.cpp")) {
         return;
     }
     const auto add = [&](int line, std::string_view ident) {
