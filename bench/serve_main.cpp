@@ -1,0 +1,258 @@
+// csense_sweep_serve: the long-running sweep server (see
+// src/serve/sweep_server.hpp for the protocol).
+//
+//   csense_sweep_serve --store <dir> --socket <path>
+//       [--bench <path>] [--shards <k>] [--threads <n>]
+//
+// Queries hit the checkpoint store at --store; a missing cell is
+// computed by scheduling csense_bench subprocess jobs against the same
+// store and then served like any other hit. With --shards k > 1 each
+// job fans out into k `csense_bench --shard i/k` processes over
+// per-job shard stores under <store>/jobs/, merges them back into the
+// main store (src/store/shard_merge.*), and replays once to produce
+// the scenario record.
+//
+// Each job runs under a *scrubbed* environment: every inherited
+// CSENSE_* variable is dropped and exactly the query's env pairs are
+// installed, so the record the job writes is keyed by the same
+// fingerprint the query asked for — never by whatever knobs the server
+// process happened to inherit.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "src/serve/sweep_server.hpp"
+#include "src/store/result_store.hpp"
+#include "src/store/run_keys.hpp"
+#include "src/store/shard_merge.hpp"
+
+extern char** environ;
+
+namespace {
+
+using namespace csense;
+
+struct options {
+    std::string store_dir;
+    std::string socket_path;
+    std::string bench_path;
+    int shards = 1;
+    int threads = 0;
+};
+
+void print_usage(std::FILE* out) {
+    std::fprintf(out,
+                 "usage: csense_sweep_serve --store <dir> --socket <path> "
+                 "[--bench <path>] [--shards <k>] [--threads <n>]\n");
+}
+
+bool parse_args(int argc, char** argv, options& opts) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "csense_sweep_serve: %s needs a "
+                                     "value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--store") {
+            const char* v = value("--store");
+            if (v == nullptr) return false;
+            opts.store_dir = v;
+        } else if (arg == "--socket") {
+            const char* v = value("--socket");
+            if (v == nullptr) return false;
+            opts.socket_path = v;
+        } else if (arg == "--bench") {
+            const char* v = value("--bench");
+            if (v == nullptr) return false;
+            opts.bench_path = v;
+        } else if (arg == "--shards") {
+            const char* v = value("--shards");
+            if (v == nullptr) return false;
+            opts.shards = std::atoi(v);
+            if (opts.shards < 1 || opts.shards > 1024) {
+                std::fprintf(stderr,
+                             "csense_sweep_serve: bad --shards '%s' (need "
+                             "an integer in [1, 1024])\n", v);
+                return false;
+            }
+        } else if (arg == "--threads") {
+            const char* v = value("--threads");
+            if (v == nullptr) return false;
+            opts.threads = std::atoi(v);
+            if (opts.threads < 0) {
+                std::fprintf(stderr,
+                             "csense_sweep_serve: bad --threads '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage(stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "csense_sweep_serve: unknown argument "
+                                 "'%s'\n", argv[i]);
+            print_usage(stderr);
+            return false;
+        }
+    }
+    if (opts.store_dir.empty() || opts.socket_path.empty()) {
+        std::fprintf(stderr,
+                     "csense_sweep_serve: --store and --socket are "
+                     "required\n");
+        print_usage(stderr);
+        return false;
+    }
+    return true;
+}
+
+/// The job environment: the server's own environment minus every
+/// CSENSE_* variable, plus exactly the query's env pairs. Jobs must be
+/// keyed by the query, not by inherited knobs.
+std::vector<std::string> job_environment(const serve::sweep_request& req) {
+    std::vector<std::string> env;
+    for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+        if (std::string_view(*e).rfind("CSENSE_", 0) == 0) continue;
+        env.emplace_back(*e);
+    }
+    for (const auto& [name, value] : req.env) {
+        env.push_back(name + "=" + value);
+    }
+    return env;
+}
+
+/// Runs one csense_bench child to completion under `env_strings`.
+/// Returns the exit code, or -1 on fork/exec/abnormal-exit failure.
+int run_bench_child(const std::string& bench,
+                    const std::vector<std::string>& args,
+                    const std::vector<std::string>& env_strings) {
+    std::vector<std::string> argv_store;
+    argv_store.reserve(args.size() + 1);
+    argv_store.push_back(bench);
+    for (const auto& a : args) argv_store.push_back(a);
+    std::vector<char*> argv;
+    for (auto& a : argv_store) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    std::vector<char*> envp;
+    std::vector<std::string> env_copy = env_strings;
+    for (auto& e : env_copy) envp.push_back(e.data());
+    envp.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0) return -1;
+    if (pid == 0) {
+        // Job output would interleave with the server's protocol log.
+        if (std::freopen("/dev/null", "w", stdout) == nullptr) _exit(127);
+        execve(bench.c_str(), argv.data(), envp.data());
+        _exit(127);
+    }
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) < 0) return -1;
+    if (!WIFEXITED(wstatus)) return -1;
+    return WEXITSTATUS(wstatus);
+}
+
+/// A bench exit is acceptable for a job when the run completed: 0 (all
+/// gates passed) or 3 (completed with gate failures — still a
+/// complete, deterministic record).
+bool bench_completed(int code) { return code == 0 || code == 3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    options opts;
+    if (!parse_args(argc, argv, opts)) return 2;
+
+    std::string bench = opts.bench_path;
+    if (bench.empty()) {
+        std::error_code ec;
+        const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+        bench = ec ? "csense_bench"
+                   : (self.parent_path() / "csense_bench").string();
+    }
+
+    serve::sweep_server::config config;
+    config.store_root = opts.store_dir;
+    config.scenario_known = [](const std::string& name) {
+        for (const auto& s : bench::scenarios()) {
+            if (s.name == name) return true;
+        }
+        return false;
+    };
+    config.runner = [&opts, bench](const serve::sweep_request& request,
+                                   const std::string& key) {
+        const std::vector<std::string> env = job_environment(request);
+        std::vector<std::string> common = {
+            "--filter", request.scenario,
+            "--seed",   std::to_string(request.seed),
+            "--no-timings"};
+        if (opts.threads > 0) {
+            common.push_back("--threads");
+            common.push_back(std::to_string(opts.threads));
+        }
+        if (opts.shards <= 1) {
+            std::vector<std::string> args = common;
+            args.push_back("--checkpoint");
+            args.push_back(opts.store_dir);
+            return bench_completed(run_bench_child(bench, args, env));
+        }
+        // Sharded job: k shard children into per-job stores, merged
+        // back into the main store, then one replay to produce the
+        // scenario record from the merged replications.
+        const std::filesystem::path job_dir =
+            std::filesystem::path(opts.store_dir) / "jobs" /
+            ("job-" + std::to_string(store::fnv1a64(key)));
+        std::vector<std::filesystem::path> shard_dirs;
+        for (int i = 0; i < opts.shards; ++i) {
+            shard_dirs.push_back(job_dir / ("s" + std::to_string(i)));
+        }
+        for (int i = 0; i < opts.shards; ++i) {
+            std::vector<std::string> args = common;
+            args.push_back("--shard");
+            args.push_back(std::to_string(i) + "/" +
+                           std::to_string(opts.shards));
+            args.push_back("--checkpoint");
+            args.push_back(shard_dirs[static_cast<std::size_t>(i)].string());
+            if (!bench_completed(run_bench_child(bench, args, env))) {
+                return false;
+            }
+        }
+        std::vector<std::string> entries;
+        for (const auto& [name, value] : request.env) {
+            entries.push_back(name + "=" + value);
+        }
+        const auto result = store::merge_shard_stores(
+            shard_dirs, opts.store_dir,
+            store::env_fingerprint_from_entries(std::move(entries)));
+        for (const auto& issue : result.issues) {
+            std::fprintf(stderr, "csense_sweep_serve: job merge [%s] %s: "
+                                 "%s\n",
+                         store::merge_issue_kind_name(issue.kind),
+                         issue.key.c_str(), issue.detail.c_str());
+        }
+        if (!result.issues.empty()) return false;
+        std::error_code ec;
+        std::filesystem::remove_all(job_dir, ec);
+        std::vector<std::string> args = common;
+        args.push_back("--checkpoint");
+        args.push_back(opts.store_dir);
+        return bench_completed(run_bench_child(bench, args, env));
+    };
+
+    try {
+        serve::sweep_server server(std::move(config));
+        return serve::serve_unix_socket(server, opts.socket_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "csense_sweep_serve: %s\n", e.what());
+        return 1;
+    }
+}

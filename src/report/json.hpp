@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace csense::report {
@@ -60,6 +61,13 @@ public:
 
     /// Array element access; requires is_array() and i < size().
     const json_value& at(std::size_t i) const { return elements_.at(i); }
+
+    /// Object entry access in insertion order; requires is_object()
+    /// and i < size().
+    std::pair<const std::string&, const json_value&> entry(
+        std::size_t i) const {
+        return {keys_.at(i), values_.at(i)};
+    }
 
     /// Numeric value widened to double (0.0 for non-numbers).
     double to_double() const noexcept;

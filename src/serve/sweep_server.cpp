@@ -1,0 +1,338 @@
+#include "src/serve/sweep_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "src/report/json.hpp"
+#include "src/store/run_keys.hpp"
+
+namespace csense::serve {
+namespace {
+
+namespace report = csense::report;
+
+std::optional<sweep_request> fail_parse(std::string* error,
+                                        std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<sweep_request> parse_request(std::string_view line,
+                                           std::string* error) {
+    std::string parse_error;
+    const auto doc = report::json_value::parse(line, &parse_error);
+    if (!doc) return fail_parse(error, "malformed JSON: " + parse_error);
+    if (!doc->is_object()) {
+        return fail_parse(error, "request must be a JSON object");
+    }
+    const report::json_value* op = doc->find("op");
+    if (op == nullptr || !op->is_string()) {
+        return fail_parse(error, "missing string field 'op'");
+    }
+    sweep_request request;
+    const std::string& op_name = op->to_string_value();
+    if (op_name == "stats") {
+        request.kind = sweep_request::op::stats;
+        return request;
+    }
+    if (op_name == "shutdown") {
+        request.kind = sweep_request::op::shutdown;
+        return request;
+    }
+    if (op_name != "query") {
+        return fail_parse(error, "unknown op '" + op_name +
+                                     "' (want query/stats/shutdown)");
+    }
+    request.kind = sweep_request::op::query;
+    const report::json_value* scenario = doc->find("scenario");
+    if (scenario == nullptr || !scenario->is_string() ||
+        scenario->to_string_value().empty()) {
+        return fail_parse(error, "query needs a non-empty 'scenario'");
+    }
+    request.scenario = scenario->to_string_value();
+    if (const report::json_value* seed = doc->find("seed");
+        seed != nullptr) {
+        if (!seed->is_number()) {
+            return fail_parse(error, "'seed' must be a number");
+        }
+        request.seed = static_cast<std::uint64_t>(seed->to_int64());
+    }
+    if (const report::json_value* env = doc->find("env"); env != nullptr) {
+        if (!env->is_object()) {
+            return fail_parse(error, "'env' must be an object");
+        }
+        for (std::size_t i = 0; i < env->size(); ++i) {
+            const auto& [name, value] = env->entry(i);
+            if (name.rfind("CSENSE_", 0) != 0) {
+                return fail_parse(error,
+                                  "env key '" + name +
+                                      "' is outside the CSENSE_* namespace");
+            }
+            if (name == "CSENSE_THREADS") {
+                return fail_parse(
+                    error,
+                    "CSENSE_THREADS cannot key a query (results are "
+                    "thread-count invariant)");
+            }
+            if (!value.is_string()) {
+                return fail_parse(error, "env value for '" + name +
+                                             "' must be a string");
+            }
+            if (value.to_string_value().find(';') != std::string::npos) {
+                return fail_parse(error, "env value for '" + name +
+                                             "' must not contain ';'");
+            }
+            request.env.emplace_back(name, value.to_string_value());
+        }
+    }
+    std::sort(request.env.begin(), request.env.end());
+    for (std::size_t i = 1; i < request.env.size(); ++i) {
+        if (request.env[i - 1].first == request.env[i].first) {
+            return fail_parse(error, "duplicate env key '" +
+                                         request.env[i].first + "'");
+        }
+    }
+    return request;
+}
+
+std::string query_record_key(const sweep_request& request) {
+    std::vector<std::string> entries;
+    entries.reserve(request.env.size());
+    for (const auto& [name, value] : request.env) {
+        entries.push_back(name + "=" + value);
+    }
+    const std::string env_fp =
+        store::env_fingerprint_from_entries(std::move(entries));
+    const std::string unit_fp = store::scenario_unit_fingerprint(
+        request.scenario, request.seed, env_fp);
+    // The byte-stable form every cached run converges on: one
+    // repetition, no wall-clock fields.
+    return store::scenario_record_key(unit_fp, /*repeat=*/1,
+                                      /*timings=*/false);
+}
+
+struct sweep_server::inflight_job {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+};
+
+sweep_server::sweep_server(config cfg)
+    : config_(std::move(cfg)),
+      store_(config_.store_root, std::string(store::kBenchStoreSchema)) {}
+
+std::string sweep_server::error_response(std::string_view reason) {
+    {
+        std::scoped_lock lock(mutex_);
+        ++counters_.errors;
+    }
+    report::json_value response = report::json_value::object();
+    response["ok"] = false;
+    response["error"] = reason;
+    return response.dump(0);
+}
+
+std::string sweep_server::handle_line(std::string_view line) {
+    std::string parse_error;
+    const auto request = parse_request(line, &parse_error);
+    if (!request) return error_response(parse_error);
+
+    if (request->kind == sweep_request::op::stats) {
+        const counters c = stats();
+        report::json_value response = report::json_value::object();
+        response["ok"] = true;
+        response["hits"] = c.hits;
+        response["misses"] = c.misses;
+        response["jobs_started"] = c.jobs_started;
+        response["coalesced"] = c.coalesced;
+        response["errors"] = c.errors;
+        return response.dump(0);
+    }
+    if (request->kind == sweep_request::op::shutdown) {
+        {
+            std::scoped_lock lock(mutex_);
+            shutdown_ = true;
+        }
+        report::json_value response = report::json_value::object();
+        response["ok"] = true;
+        response["status"] = "shutting_down";
+        return response.dump(0);
+    }
+    if (!config_.scenario_known || !config_.scenario_known(
+                                       request->scenario)) {
+        return error_response("unknown scenario '" + request->scenario +
+                              "'");
+    }
+    return handle_query(*request);
+}
+
+std::string sweep_server::handle_query(const sweep_request& request) {
+    const std::string key = query_record_key(request);
+    const auto respond = [&](std::string_view payload,
+                             std::string_view status) -> std::string {
+        std::string record_error;
+        auto record = report::json_value::parse(payload, &record_error);
+        if (!record) {
+            return error_response("stored record for key '" + key +
+                                  "' is unparseable: " + record_error);
+        }
+        report::json_value response = report::json_value::object();
+        response["ok"] = true;
+        response["status"] = status;
+        response["key"] = std::string_view(key);
+        response["result"] = std::move(*record);
+        return response.dump(0);
+    };
+
+    if (const auto payload = store_.load(key)) {
+        std::scoped_lock lock(mutex_);
+        ++counters_.hits;
+        return respond(*payload, "hit");
+    }
+
+    // Miss: one job per key, everyone else queues behind it.
+    std::shared_ptr<inflight_job> job;
+    bool owner = false;
+    {
+        std::scoped_lock lock(mutex_);
+        ++counters_.misses;
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            job = it->second;
+            ++counters_.coalesced;
+        } else {
+            job = std::make_shared<inflight_job>();
+            inflight_.emplace(key, job);
+            owner = true;
+            ++counters_.jobs_started;
+        }
+    }
+    if (owner) {
+        bool ok = false;
+        if (config_.runner) ok = config_.runner(request, key);
+        {
+            std::scoped_lock job_lock(job->mutex);
+            job->done = true;
+            job->ok = ok;
+        }
+        job->cv.notify_all();
+        std::scoped_lock lock(mutex_);
+        inflight_.erase(key);
+    } else {
+        std::unique_lock job_lock(job->mutex);
+        job->cv.wait(job_lock, [&] { return job->done; });
+    }
+    // Success is defined by the store, not the runner's word: the
+    // record must actually be loadable now.
+    if (const auto payload = store_.load(key)) {
+        return respond(*payload, "computed");
+    }
+    return error_response("job for key '" + key +
+                          "' did not produce a record");
+}
+
+bool sweep_server::shutdown_requested() const {
+    std::scoped_lock lock(mutex_);
+    return shutdown_;
+}
+
+sweep_server::counters sweep_server::stats() const {
+    std::scoped_lock lock(mutex_);
+    return counters_;
+}
+
+int serve_unix_socket(sweep_server& server,
+                      const std::filesystem::path& socket_path) {
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "csense_sweep_serve: socket failed (errno "
+                             "%d)\n", errno);
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = socket_path.string();
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "csense_sweep_serve: socket path too long: "
+                             "%s\n", path.c_str());
+        ::close(listen_fd);
+        return 1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());  // a stale socket from a previous run
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 16) != 0) {
+        std::fprintf(stderr, "csense_sweep_serve: cannot listen on %s "
+                             "(errno %d)\n", path.c_str(), errno);
+        ::close(listen_fd);
+        return 1;
+    }
+    std::printf("csense_sweep_serve: listening on %s\n", path.c_str());
+    std::fflush(stdout);
+
+    std::vector<std::thread> connections;
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            // The shutdown handler shut the listening socket down to
+            // wake this accept; anything else is a real error.
+            if (server.shutdown_requested()) break;
+            std::fprintf(stderr, "csense_sweep_serve: accept failed "
+                                 "(errno %d)\n", errno);
+            break;
+        }
+        connections.emplace_back([fd, listen_fd, &server] {
+            std::string buffer;
+            char chunk[4096];
+            for (;;) {
+                const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+                if (n <= 0) break;
+                buffer.append(chunk, static_cast<std::size_t>(n));
+                std::size_t eol;
+                while ((eol = buffer.find('\n')) != std::string::npos) {
+                    const std::string line = buffer.substr(0, eol);
+                    buffer.erase(0, eol + 1);
+                    if (line.empty()) continue;
+                    std::string response = server.handle_line(line);
+                    response += '\n';
+                    std::size_t sent = 0;
+                    while (sent < response.size()) {
+                        const ssize_t w = ::send(
+                            fd, response.data() + sent,
+                            response.size() - sent, MSG_NOSIGNAL);
+                        if (w <= 0) break;
+                        sent += static_cast<std::size_t>(w);
+                    }
+                    if (server.shutdown_requested()) {
+                        // Wake the accept loop; remaining buffered
+                        // lines on this connection are dropped.
+                        ::shutdown(listen_fd, SHUT_RDWR);
+                        ::close(fd);
+                        return;
+                    }
+                }
+            }
+            ::close(fd);
+        });
+    }
+    for (auto& connection : connections) connection.join();
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return server.shutdown_requested() ? 0 : 1;
+}
+
+}  // namespace csense::serve

@@ -1,0 +1,131 @@
+// The sweep server: campaigns as a queryable service.
+//
+// A long-running csense_sweep_serve process owns one checkpoint store
+// and answers parameter-sweep queries — "scenario X at seed S under
+// CSENSE_* knobs E" — over a line-delimited JSON protocol on a local
+// unix socket. The cache key is the store's existing scenario record
+// key (run_keys.hpp): a cell that any past run (batch, sharded+merged,
+// or a previous query) checkpointed is served straight from the store;
+// a missing cell is computed once by a scheduled job and then served.
+// Concurrent identical queries coalesce onto one in-flight job.
+//
+// Protocol (one JSON document per line, response per request line):
+//
+//   {"op":"query","scenario":"<name>","seed":<n>,"env":{"K":"V",...}}
+//     -> {"ok":true,"status":"hit"|"computed","key":"<record key>",
+//         "result":<the scenario's checkpoint record>}
+//     -> {"ok":false,"error":"<reason>"}       (unknown scenario,
+//         malformed env, job failure, ...)
+//   {"op":"stats"}
+//     -> {"ok":true,"hits":n,"misses":n,"jobs_started":n,
+//         "coalesced":n,"errors":n}
+//   {"op":"shutdown"}
+//     -> {"ok":true,"status":"shutting_down"}
+//
+// `env` carries only CSENSE_* knobs (CSENSE_THREADS excluded — output
+// is thread-count invariant); anything else is a structured error, not
+// a cache miss, so a typo can never silently query the wrong cell.
+//
+// The class is transport-free and takes the job runner by injection:
+// protocol tests drive handle_line() directly with a scripted runner,
+// while csense_sweep_serve wires in subprocess jobs and the socket
+// loop (serve_unix_socket).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/store/result_store.hpp"
+
+namespace csense::serve {
+
+/// One parsed request line.
+struct sweep_request {
+    enum class op { query, stats, shutdown };
+    op kind = op::query;
+    std::string scenario;
+    std::uint64_t seed = 7;  ///< csense_bench's default --seed
+    /// Requested CSENSE_* knobs as sorted (name, value) pairs.
+    std::vector<std::pair<std::string, std::string>> env;
+};
+
+/// Parses one protocol line. nullopt (and a reason in `error` when
+/// non-null) on malformed JSON, an unknown op, or an env map that
+/// steps outside the CSENSE_* namespace.
+std::optional<sweep_request> parse_request(std::string_view line,
+                                           std::string* error = nullptr);
+
+/// The store record key a query resolves to (scenario record at
+/// repeat=1 without timings — the byte-stable form).
+std::string query_record_key(const sweep_request& request);
+
+class sweep_server {
+public:
+    struct config {
+        /// Root of the checkpoint store the server owns.
+        std::filesystem::path store_root;
+        /// Name check for queried scenarios (wire the bench registry
+        /// in; reject-all when empty).
+        std::function<bool(const std::string& name)> scenario_known;
+        /// Computes one missing cell: run the scenario so its record
+        /// lands in the store under `key`. Returns false on job
+        /// failure. Runs outside the server lock; several distinct
+        /// keys may compute concurrently, one job per key.
+        std::function<bool(const sweep_request& request,
+                           const std::string& key)>
+            runner;
+    };
+
+    /// Throws std::runtime_error when the store cannot be opened.
+    explicit sweep_server(config cfg);
+
+    /// Handles one request line and returns the response line (no
+    /// trailing newline). Blocks while a job for the queried key is in
+    /// flight (its own or a coalesced one). Safe to call from many
+    /// connection threads concurrently.
+    std::string handle_line(std::string_view line);
+
+    /// True once a shutdown request was handled.
+    bool shutdown_requested() const;
+
+    struct counters {
+        std::uint64_t hits = 0;          ///< served from the store
+        std::uint64_t misses = 0;        ///< required a job
+        std::uint64_t jobs_started = 0;  ///< runner invocations
+        std::uint64_t coalesced = 0;     ///< waited on another's job
+        std::uint64_t errors = 0;        ///< error responses sent
+    };
+    counters stats() const;
+
+private:
+    struct inflight_job;
+
+    std::string handle_query(const sweep_request& request);
+    std::string error_response(std::string_view reason);
+
+    config config_;
+    store::result_store store_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<inflight_job>> inflight_;
+    counters counters_;
+    bool shutdown_ = false;
+};
+
+/// Binds a unix stream socket at `socket_path` (unlinking a stale
+/// one), then accepts connections and feeds each line through
+/// `server.handle_line` until a shutdown request arrives. One thread
+/// per connection: a query blocked on a long job never stalls other
+/// clients. Returns 0 on clean shutdown, nonzero on socket errors.
+int serve_unix_socket(sweep_server& server,
+                      const std::filesystem::path& socket_path);
+
+}  // namespace csense::serve

@@ -73,6 +73,45 @@ std::uint64_t fnv1a64(std::string_view data) noexcept {
     return h;
 }
 
+std::optional<record_view> parse_record(std::string_view raw,
+                                        std::string* error) {
+    const auto fail = [&](const char* why) -> std::optional<record_view> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+    std::string_view rest = raw;
+    const auto magic = take_line(&rest, "");
+    if (!magic || *magic != kMagic) return fail("bad magic line");
+    const auto schema = take_line(&rest, "schema");
+    if (!schema) return fail("missing schema line");
+    const auto stored_key = take_line(&rest, "key");
+    if (!stored_key) return fail("missing key line");
+    const auto size_field = take_line(&rest, "payload_bytes");
+    if (!size_field) return fail("missing payload_bytes line");
+    const auto checksum_field = take_line(&rest, "payload_fnv1a64");
+    if (!checksum_field) return fail("missing payload_fnv1a64 line");
+    const auto separator = take_line(&rest, "");
+    if (!separator || *separator != "---") return fail("missing separator");
+
+    std::size_t payload_bytes = 0;
+    const auto res = std::from_chars(
+        size_field->data(), size_field->data() + size_field->size(),
+        payload_bytes);
+    if (res.ec != std::errc() ||
+        res.ptr != size_field->data() + size_field->size()) {
+        return fail("unparseable payload_bytes");
+    }
+    // Truncation and trailing garbage both fail the exact-length check.
+    if (rest.size() != payload_bytes) {
+        return fail("payload length mismatch (truncated or padded)");
+    }
+    if (checksum_field->size() != 16 ||
+        *checksum_field != hex64(fnv1a64(rest))) {
+        return fail("payload checksum mismatch");
+    }
+    return record_view{*schema, *stored_key, rest};
+}
+
 result_store::result_store(std::filesystem::path root,
                            std::string schema_version, fs_hooks hooks)
     : root_(std::move(root)),
@@ -143,46 +182,20 @@ std::optional<std::string> result_store::load(std::string_view key) {
     };
     if (!raw) return corrupt();
 
-    std::string_view rest = *raw;
-    const auto magic = take_line(&rest, "");
-    if (!magic || *magic != kMagic) return corrupt();
-    const auto schema = take_line(&rest, "schema");
-    if (!schema) return corrupt();
-    const auto stored_key = take_line(&rest, "key");
-    if (!stored_key) return corrupt();
-    const auto size_field = take_line(&rest, "payload_bytes");
-    if (!size_field) return corrupt();
-    const auto checksum_field = take_line(&rest, "payload_fnv1a64");
-    if (!checksum_field) return corrupt();
-    const auto separator = take_line(&rest, "");
-    if (!separator || *separator != "---") return corrupt();
-
-    std::size_t payload_bytes = 0;
-    auto res = std::from_chars(size_field->data(),
-                               size_field->data() + size_field->size(),
-                               payload_bytes);
-    if (res.ec != std::errc() ||
-        res.ptr != size_field->data() + size_field->size()) {
-        return corrupt();
-    }
-    // Truncation and trailing garbage both fail the exact-length check.
-    if (rest.size() != payload_bytes) return corrupt();
-    if (checksum_field->size() != 16 ||
-        *checksum_field != hex64(fnv1a64(rest))) {
-        return corrupt();
-    }
+    const auto record = parse_record(*raw);
+    if (!record) return corrupt();
     // A record for a different key in this slot means the directory was
     // tampered with or a hash collision was hand-crafted: quarantine.
-    if (*stored_key != key) return corrupt();
+    if (record->key != key) return corrupt();
     // Stale schema: structurally valid, just from an older store
     // generation. Not corruption — report a miss and let the recompute
     // overwrite it in place.
-    if (*schema != schema_version_) {
+    if (record->schema != schema_version_) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    return std::string(rest);
+    return std::string(record->payload);
 }
 
 bool result_store::put(std::string_view key, std::string_view payload) {

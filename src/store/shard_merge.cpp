@@ -1,0 +1,406 @@
+#include "src/store/shard_merge.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/report/json.hpp"
+#include "src/store/result_store.hpp"
+#include "src/store/run_keys.hpp"
+
+namespace csense::store {
+namespace {
+
+constexpr std::string_view kManifestSchema = "csense-shard-manifest/1";
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return std::nullopt;
+    return buffer.str();
+}
+
+/// The .rec files directly under a store root, sorted by name so issue
+/// reporting is deterministic (directory iteration order is not).
+std::vector<std::filesystem::path> record_files(
+    const std::filesystem::path& root) {
+    std::vector<std::filesystem::path> files;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        if (it->path().extension() != ".rec") continue;
+        files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+bool units_equal(const manifest_unit& a, const manifest_unit& b) {
+    return a.prefix == b.prefix && a.replications == b.replications &&
+           a.shard_size == b.shard_size;
+}
+
+bool manifests_agree(const shard_manifest& a, const shard_manifest& b,
+                     std::string* why) {
+    const auto differ = [&](const char* field) {
+        *why = std::string("field '") + field + "' differs";
+        return false;
+    };
+    if (a.shard_count != b.shard_count) return differ("shard_count");
+    if (a.seed != b.seed) return differ("seed");
+    if (a.filter != b.filter) return differ("filter");
+    if (a.repeat != b.repeat) return differ("repeat");
+    if (a.timings != b.timings) return differ("timings");
+    if (a.env_fp != b.env_fp) return differ("env");
+    if (a.scenarios != b.scenarios) return differ("scenarios");
+    if (a.units.size() != b.units.size()) return differ("units");
+    for (std::size_t i = 0; i < a.units.size(); ++i) {
+        if (!units_equal(a.units[i], b.units[i])) return differ("units");
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string encode_manifest(const shard_manifest& manifest) {
+    namespace report = csense::report;
+    report::json_value doc = report::json_value::object();
+    doc["schema"] = kManifestSchema;
+    doc["shard_index"] = manifest.shard_index;
+    doc["shard_count"] = manifest.shard_count;
+    doc["seed"] = manifest.seed;
+    doc["filter"] = std::string_view(manifest.filter);
+    doc["repeat"] = manifest.repeat;
+    doc["timings"] = manifest.timings ? 1 : 0;
+    doc["env"] = std::string_view(manifest.env_fp);
+    report::json_value scenarios = report::json_value::array();
+    for (const auto& name : manifest.scenarios) {
+        scenarios.push_back(std::string_view(name));
+    }
+    doc["scenarios"] = std::move(scenarios);
+    report::json_value units = report::json_value::array();
+    for (const auto& unit : manifest.units) {
+        report::json_value u = report::json_value::object();
+        u["prefix"] = std::string_view(unit.prefix);
+        u["replications"] = unit.replications;
+        u["shard_size"] = unit.shard_size;
+        units.push_back(std::move(u));
+    }
+    doc["units"] = std::move(units);
+    return doc.dump(0);
+}
+
+std::optional<shard_manifest> decode_manifest(std::string_view payload,
+                                              std::string* error) {
+    namespace report = csense::report;
+    const auto fail = [&](std::string why) -> std::optional<shard_manifest> {
+        if (error != nullptr) *error = std::move(why);
+        return std::nullopt;
+    };
+    std::string parse_error;
+    const auto doc = report::json_value::parse(payload, &parse_error);
+    if (!doc) return fail("unparseable manifest JSON: " + parse_error);
+    const report::json_value* schema = doc->find("schema");
+    if (schema == nullptr || schema->to_string_value() != kManifestSchema) {
+        return fail("wrong manifest schema (want '" +
+                    std::string(kManifestSchema) + "')");
+    }
+    shard_manifest m;
+    const auto int_field = [&](const char* name, auto* out) {
+        const report::json_value* v = doc->find(name);
+        if (v == nullptr || !v->is_number()) return false;
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(
+            v->to_int64());
+        return true;
+    };
+    int timings = 0;
+    if (!int_field("shard_index", &m.shard_index) ||
+        !int_field("shard_count", &m.shard_count) ||
+        !int_field("seed", &m.seed) || !int_field("repeat", &m.repeat) ||
+        !int_field("timings", &timings)) {
+        return fail("missing or non-numeric manifest field");
+    }
+    m.timings = timings != 0;
+    const report::json_value* filter = doc->find("filter");
+    const report::json_value* env = doc->find("env");
+    if (filter == nullptr || !filter->is_string() || env == nullptr ||
+        !env->is_string()) {
+        return fail("missing filter/env field");
+    }
+    m.filter = filter->to_string_value();
+    m.env_fp = env->to_string_value();
+    const report::json_value* scenarios = doc->find("scenarios");
+    if (scenarios == nullptr || !scenarios->is_array()) {
+        return fail("missing scenarios array");
+    }
+    for (std::size_t i = 0; i < scenarios->size(); ++i) {
+        m.scenarios.push_back(scenarios->at(i).to_string_value());
+    }
+    const report::json_value* units = doc->find("units");
+    if (units == nullptr || !units->is_array()) {
+        return fail("missing units array");
+    }
+    for (std::size_t i = 0; i < units->size(); ++i) {
+        const report::json_value& u = units->at(i);
+        const report::json_value* prefix = u.find("prefix");
+        const report::json_value* replications = u.find("replications");
+        const report::json_value* shard_size = u.find("shard_size");
+        if (prefix == nullptr || !prefix->is_string() ||
+            replications == nullptr || !replications->is_number() ||
+            shard_size == nullptr || !shard_size->is_number()) {
+            return fail("malformed unit entry");
+        }
+        manifest_unit unit;
+        unit.prefix = prefix->to_string_value();
+        unit.replications = replications->to_int64();
+        unit.shard_size = shard_size->to_int64();
+        if (unit.replications < 0 || unit.shard_size < 1) {
+            return fail("unit with negative replications or shard_size < 1");
+        }
+        m.units.push_back(std::move(unit));
+    }
+    if (m.shard_count < 1 || m.shard_index < 0 ||
+        m.shard_index >= m.shard_count) {
+        return fail("shard_index/shard_count out of range");
+    }
+    return m;
+}
+
+const char* merge_issue_kind_name(merge_issue_kind kind) {
+    switch (kind) {
+        case merge_issue_kind::missing_shard: return "missing-shard";
+        case merge_issue_kind::manifest_mismatch: return "manifest-mismatch";
+        case merge_issue_kind::env_mismatch: return "env-mismatch";
+        case merge_issue_kind::corrupt_record: return "corrupt-record";
+        case merge_issue_kind::stale_schema: return "stale-schema";
+        case merge_issue_kind::duplicate_claim: return "duplicate-claim";
+        case merge_issue_kind::coverage_gap: return "coverage-gap";
+    }
+    return "unknown";
+}
+
+int merge_exit_code(const std::vector<merge_issue>& issues) {
+    int code = kMergeOk;
+    // Precedence: an incomplete/mismatched shard set invalidates finer
+    // diagnostics; corruption beats staleness beats ownership beats gaps.
+    const auto rank = [](int exit_code) {
+        switch (exit_code) {
+            case kMergeMissingShard: return 5;
+            case kMergeCorrupt: return 4;
+            case kMergeStale: return 3;
+            case kMergeDuplicate: return 2;
+            case kMergeGap: return 1;
+            default: return 0;
+        }
+    };
+    for (const auto& issue : issues) {
+        int issue_code = kMergeOk;
+        switch (issue.kind) {
+            case merge_issue_kind::missing_shard:
+            case merge_issue_kind::manifest_mismatch:
+            case merge_issue_kind::env_mismatch:
+                issue_code = kMergeMissingShard;
+                break;
+            case merge_issue_kind::corrupt_record:
+                issue_code = kMergeCorrupt;
+                break;
+            case merge_issue_kind::stale_schema:
+                issue_code = kMergeStale;
+                break;
+            case merge_issue_kind::duplicate_claim:
+                issue_code = kMergeDuplicate;
+                break;
+            case merge_issue_kind::coverage_gap:
+                issue_code = kMergeGap;
+                break;
+        }
+        if (rank(issue_code) > rank(code)) code = issue_code;
+    }
+    return code;
+}
+
+merge_result merge_shard_stores(
+    const std::vector<std::filesystem::path>& shard_roots,
+    const std::filesystem::path& out_root,
+    const std::optional<std::string>& expected_env_fp) {
+    merge_result result;
+    const int k = static_cast<int>(shard_roots.size());
+    const auto issue = [&](merge_issue_kind kind, int shard, std::string key,
+                           std::string detail) {
+        result.issues.push_back(
+            {kind, shard, std::move(key), std::move(detail)});
+    };
+
+    // Pass 1: read every record of every shard store, validating
+    // structure and schema. std::map keeps per-shard key sets ordered
+    // so downstream reporting is deterministic.
+    std::vector<std::map<std::string, std::string>> records(
+        static_cast<std::size_t>(k));
+    std::vector<std::optional<shard_manifest>> manifests(
+        static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+        const std::filesystem::path& root = shard_roots[i];
+        std::error_code ec;
+        if (!std::filesystem::is_directory(root, ec)) {
+            issue(merge_issue_kind::missing_shard, i, "",
+                  "store directory '" + root.string() + "' does not exist");
+            continue;
+        }
+        for (const auto& file : record_files(root)) {
+            const auto raw = read_file(file);
+            if (!raw) {
+                issue(merge_issue_kind::corrupt_record, i,
+                      file.filename().string(), "unreadable record file");
+                continue;
+            }
+            std::string error;
+            const auto record = parse_record(*raw, &error);
+            if (!record) {
+                issue(merge_issue_kind::corrupt_record, i,
+                      file.filename().string(), error);
+                continue;
+            }
+            if (record->schema != kBenchStoreSchema) {
+                issue(merge_issue_kind::stale_schema, i,
+                      std::string(record->key),
+                      "record schema '" + std::string(record->schema) +
+                          "' (store expects '" +
+                          std::string(kBenchStoreSchema) + "')");
+                continue;
+            }
+            records[static_cast<std::size_t>(i)].emplace(
+                record->key, std::string(record->payload));
+        }
+        const auto manifest_it =
+            records[static_cast<std::size_t>(i)].find(
+                std::string(kManifestKey));
+        if (manifest_it == records[static_cast<std::size_t>(i)].end()) {
+            issue(merge_issue_kind::missing_shard, i, "",
+                  "no manifest record — the shard run did not complete");
+            continue;
+        }
+        std::string error;
+        auto manifest = decode_manifest(manifest_it->second, &error);
+        if (!manifest) {
+            issue(merge_issue_kind::corrupt_record, i,
+                  std::string(kManifestKey), error);
+            continue;
+        }
+        if (manifest->shard_index != i) {
+            issue(merge_issue_kind::manifest_mismatch, i, "",
+                  "manifest claims shard " +
+                      std::to_string(manifest->shard_index) +
+                      " but was passed as shard " + std::to_string(i));
+            continue;
+        }
+        if (manifest->shard_count != k) {
+            issue(merge_issue_kind::manifest_mismatch, i, "",
+                  "manifest expects " +
+                      std::to_string(manifest->shard_count) +
+                      " shards, merge was given " + std::to_string(k));
+            continue;
+        }
+        manifests[static_cast<std::size_t>(i)] = std::move(manifest);
+    }
+
+    // Pass 2: cross-manifest agreement. The lowest-indexed decoded
+    // manifest is the reference the others (and the environment) must
+    // match.
+    const shard_manifest* reference = nullptr;
+    for (int i = 0; i < k; ++i) {
+        const auto& manifest = manifests[static_cast<std::size_t>(i)];
+        if (!manifest) continue;
+        if (reference == nullptr) {
+            reference = &*manifest;
+            continue;
+        }
+        std::string why;
+        if (!manifests_agree(*reference, *manifest, &why)) {
+            issue(merge_issue_kind::manifest_mismatch, i, "",
+                  "disagrees with shard " +
+                      std::to_string(reference->shard_index) + ": " + why);
+        }
+    }
+    if (reference != nullptr && expected_env_fp &&
+        reference->env_fp != *expected_env_fp) {
+        issue(merge_issue_kind::env_mismatch, reference->shard_index, "",
+              "shards ran under CSENSE_* env '" + reference->env_fp +
+                  "' but the merge is running under '" + *expected_env_fp +
+                  "'");
+    }
+
+    // Pass 3: ownership and coverage against the reference manifest's
+    // promise. Owner of replication j is (j / shard_size) % k — the
+    // same fixed boundary rule the campaign layer shards by.
+    if (reference != nullptr) {
+        for (const auto& unit : reference->units) {
+            for (std::int64_t j = 0; j < unit.replications; ++j) {
+                const int owner = static_cast<int>(
+                    (j / unit.shard_size) % static_cast<std::int64_t>(k));
+                const std::string key =
+                    unit.prefix + "/rep" + std::to_string(j);
+                for (int i = 0; i < k; ++i) {
+                    const bool present =
+                        records[static_cast<std::size_t>(i)].count(key) > 0;
+                    if (i == owner && !present &&
+                        manifests[static_cast<std::size_t>(i)]) {
+                        issue(merge_issue_kind::coverage_gap, i, key,
+                              "owned replication record is missing");
+                    }
+                    if (i != owner && present) {
+                        issue(merge_issue_kind::duplicate_claim, i, key,
+                              "replication is owned by shard " +
+                                  std::to_string(owner));
+                    }
+                }
+            }
+        }
+        // Anything outside the manifest's promise (old scenario/ records
+        // from a non-shard run in the same dir, ...) is skipped, counted,
+        // and never merged.
+        for (int i = 0; i < k; ++i) {
+            for (const auto& [key, payload] :
+                 records[static_cast<std::size_t>(i)]) {
+                if (key == kManifestKey) continue;
+                bool claimed = false;
+                for (const auto& unit : reference->units) {
+                    if (key.size() > unit.prefix.size() &&
+                        key.compare(0, unit.prefix.size(), unit.prefix) ==
+                            0 &&
+                        key.compare(unit.prefix.size(), 4, "/rep") == 0) {
+                        claimed = true;
+                        break;
+                    }
+                }
+                if (!claimed) ++result.records_ignored;
+            }
+        }
+    }
+
+    if (reference != nullptr) result.manifest = *reference;
+    if (!result.issues.empty() || reference == nullptr) return result;
+
+    // Clean: splice every owned record into the merged store in index
+    // order. put() rebuilds each record header around the identical
+    // payload, so the merged store is byte-identical to one an
+    // unsharded checkpointed run would have written.
+    result_store merged(out_root, std::string(kBenchStoreSchema));
+    for (const auto& unit : reference->units) {
+        for (std::int64_t j = 0; j < unit.replications; ++j) {
+            const int owner = static_cast<int>(
+                (j / unit.shard_size) % static_cast<std::int64_t>(k));
+            const std::string key = unit.prefix + "/rep" + std::to_string(j);
+            const auto it =
+                records[static_cast<std::size_t>(owner)].find(key);
+            merged.put(key, it->second);
+            ++result.records_merged;
+        }
+    }
+    return result;
+}
+
+}  // namespace csense::store

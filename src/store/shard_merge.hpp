@@ -1,0 +1,123 @@
+// Shard-run manifests and the k-way shard-store merge.
+//
+// A `csense_bench --shard i/k --checkpoint <dir>` run computes only the
+// replication shards it owns (index j is owned by process i when
+// (j / shard_size) % k == i — the campaign layer's fixed shard
+// boundaries, so the partition is deterministic and independent of
+// thread count). On success it writes one manifest record
+// (store::kManifestKey) describing the run: which slice of which run
+// configuration this store holds, and how many replications each
+// campaign unit has in total.
+//
+// merge_shard_stores() validates k such stores against each other and
+// against the manifest's coverage promise, then splices every
+// replication record into one merged store in index order. Validation
+// failures are *collected*, not thrown: the caller gets every issue at
+// once (a missing shard plus two corrupt records is three lines, not
+// three reruns), and the merged store is only written when the issue
+// list is empty — a merge can never silently drop cells.
+//
+// The merged store is a plain `--checkpoint` store: running
+// `csense_bench --checkpoint <merged> --no-timings --json out.json`
+// over it replays every scenario from the cached replications and
+// emits the exact bytes an unsharded run would have produced.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace csense::store {
+
+/// One campaign unit's coverage promise: records
+/// "<prefix>/rep<0..replications-1>" exist across the k stores.
+struct manifest_unit {
+    std::string prefix;           ///< e.g. "shard/<unit_fp>/n500"
+    std::int64_t replications = 0;
+    std::int64_t shard_size = 1;  ///< campaign_options::shard_size
+};
+
+/// The per-shard run manifest (store key kManifestKey), written only
+/// when a `--shard i/k` run completes with no degraded scenario.
+struct shard_manifest {
+    int shard_index = 0;
+    int shard_count = 1;
+    std::uint64_t seed = 0;
+    std::string filter;
+    int repeat = 1;
+    bool timings = false;
+    std::string env_fp;
+    std::vector<std::string> scenarios;  ///< selected scenario names
+    std::vector<manifest_unit> units;
+};
+
+/// Serialises a manifest as a compact csense-shard-manifest/1 JSON
+/// document (the record payload under kManifestKey).
+std::string encode_manifest(const shard_manifest& manifest);
+
+/// Parses an encoded manifest; nullopt (and a reason in `error` when
+/// non-null) on malformed input or a wrong manifest schema.
+std::optional<shard_manifest> decode_manifest(std::string_view payload,
+                                              std::string* error = nullptr);
+
+/// Everything that can make a merge refuse to emit output. Ordered by
+/// reporting precedence: an incomplete shard set (missing_shard,
+/// manifest_mismatch, env_mismatch) invalidates finer diagnostics, so
+/// it wins the exit code even when corrupt records were also seen.
+enum class merge_issue_kind {
+    missing_shard,      ///< shard dir or its manifest record absent
+    manifest_mismatch,  ///< shards describe different runs
+    env_mismatch,       ///< manifest env fp != expected env fp
+    corrupt_record,     ///< structural/checksum failure in a .rec file
+    stale_schema,       ///< record from another store schema version
+    duplicate_claim,    ///< a record in a shard that does not own it
+    coverage_gap,       ///< an owned record is missing
+};
+
+const char* merge_issue_kind_name(merge_issue_kind kind);
+
+struct merge_issue {
+    merge_issue_kind kind;
+    int shard = -1;      ///< shard index, -1 when not shard-specific
+    std::string key;     ///< record key or file name, "" when n/a
+    std::string detail;  ///< human-readable reason
+};
+
+/// csense_merge exit codes (documented in docs/robustness.md).
+inline constexpr int kMergeOk = 0;
+inline constexpr int kMergeFatal = 1;
+inline constexpr int kMergeUsage = 2;
+inline constexpr int kMergeCorrupt = 3;
+inline constexpr int kMergeStale = 4;
+inline constexpr int kMergeMissingShard = 5;
+inline constexpr int kMergeDuplicate = 6;
+inline constexpr int kMergeGap = 7;
+
+/// Maps an issue list to the exit code of its highest-precedence kind
+/// (missing/mismatch > corrupt > stale > duplicate > gap); kMergeOk
+/// when empty.
+int merge_exit_code(const std::vector<merge_issue>& issues);
+
+struct merge_result {
+    std::vector<merge_issue> issues;
+    /// The agreed run manifest (set when every shard parsed one and
+    /// they match; the merge's emission step needs seed/filter/repeat).
+    std::optional<shard_manifest> manifest;
+    std::size_t records_merged = 0;   ///< replication records spliced
+    std::size_t records_ignored = 0;  ///< keys outside the manifest
+};
+
+/// Validates the k shard stores and, when clean, writes every
+/// replication record into a fresh store at `out_root` in index order.
+/// `expected_env_fp` (pass current_env_fingerprint()) must match every
+/// manifest: a merge under different CSENSE_* knobs would emit a JSON
+/// document keyed to an environment that never ran. Pass nullopt to
+/// skip the check (tests with synthetic fingerprints).
+merge_result merge_shard_stores(
+    const std::vector<std::filesystem::path>& shard_roots,
+    const std::filesystem::path& out_root,
+    const std::optional<std::string>& expected_env_fp);
+
+}  // namespace csense::store

@@ -68,6 +68,41 @@ TEST(BenchRobustness, UsageErrorsExitTwo) {
     EXPECT_EQ(run_bench("--watchdog-ms -5", dir + "rb_wd.txt"), 2);
 }
 
+TEST(BenchRobustness, ShardModeUsageErrorsExitTwo) {
+    const std::string dir = ::testing::TempDir();
+    const std::string log = dir + "rb_shard.txt";
+    // Malformed <i>/<k> forms.
+    EXPECT_EQ(run_bench("--shard 3/3 --checkpoint \"" + dir + "rb_sck\"",
+                        log),
+              2);
+    EXPECT_NE(read_file(log).find("bad --shard '3/3'"), std::string::npos)
+        << read_file(log);
+    EXPECT_EQ(run_bench("--shard a/b --checkpoint \"" + dir + "rb_sck\"",
+                        log),
+              2);
+    EXPECT_EQ(run_bench("--shard -1/3 --checkpoint \"" + dir + "rb_sck\"",
+                        log),
+              2);
+    EXPECT_EQ(run_bench("--shard 2 --checkpoint \"" + dir + "rb_sck\"",
+                        log),
+              2);
+    // A shard without a store would silently discard its slice.
+    EXPECT_EQ(run_bench("--shard 0/3 --filter x00_fault_drill", log), 2);
+    EXPECT_NE(read_file(log).find("--shard requires --checkpoint"),
+              std::string::npos)
+        << read_file(log);
+    // Timing repetitions are per-process: combined with sharding they
+    // would double-count shard records.
+    EXPECT_EQ(run_bench("--shard 0/3 --repeat 2 --checkpoint \"" + dir +
+                            "rb_sck\" --filter x00_fault_drill",
+                        log),
+              2);
+    EXPECT_NE(
+        read_file(log).find("--shard cannot be combined with --repeat"),
+        std::string::npos)
+        << read_file(log);
+}
+
 TEST(BenchRobustness, NoMatchingScenarioIsFatalWithSuggestions) {
     const std::string dir = ::testing::TempDir();
     const std::string log = dir + "rb_nomatch.txt";

@@ -1,0 +1,336 @@
+// Fault injection for the shard-store merge: every way a shard set can
+// be wrong (corrupt record, stale schema, missing shard, duplicate
+// ownership claim, coverage gap, env mismatch) must map to its
+// documented exit code, report every issue, and never write a merged
+// store — a merge can never silently drop cells. Exercises both the
+// library (store::merge_shard_stores on synthetic stores) and the
+// csense_merge binary's exit codes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/store/result_store.hpp"
+#include "src/store/run_keys.hpp"
+#include "src/store/shard_merge.hpp"
+
+#if __has_include(<sys/wait.h>)
+#include <sys/wait.h>
+#endif
+
+#ifdef WEXITSTATUS
+#define CSENSE_EXIT(code) (WIFEXITED(code) ? WEXITSTATUS(code) : -1)
+#else
+#define CSENSE_EXIT(code) (code)
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace csense::store;
+
+constexpr int kShards = 3;
+// The synthetic campaign: one unit, six replications, shard_size 1, so
+// shard i owns replications {i, i + 3}.
+const char* const kPrefix = "shard/fake?seed=1&env=/n4";
+constexpr std::int64_t kReps = 6;
+
+shard_manifest manifest_for(int shard_index) {
+    shard_manifest m;
+    m.shard_index = shard_index;
+    m.shard_count = kShards;
+    m.seed = 1;
+    m.filter = "fake";
+    m.repeat = 1;
+    m.timings = false;
+    m.env_fp = "";
+    m.scenarios = {"fake"};
+    m.units = {{kPrefix, kReps, 1}};
+    return m;
+}
+
+std::string rep_key(std::int64_t j) {
+    return std::string(kPrefix) + "/rep" + std::to_string(j);
+}
+
+std::string rep_payload(std::int64_t j) {
+    return "{\"rep\":" + std::to_string(j) + "}";
+}
+
+struct shard_build {
+    bool manifest = true;
+    std::int64_t skip_rep = -1;     ///< owned rep to leave unwritten
+    std::int64_t foreign_rep = -1;  ///< non-owned rep to plant anyway
+    std::string schema = std::string(kBenchStoreSchema);
+    fs_hooks hooks = {};
+};
+
+void build_shard(const fs::path& root, int i, const shard_build& build) {
+    result_store store(root, build.schema, build.hooks);
+    for (std::int64_t j = 0; j < kReps; ++j) {
+        if (j % kShards != i || j == build.skip_rep) continue;
+        ASSERT_TRUE(store.put(rep_key(j), rep_payload(j)));
+    }
+    if (build.foreign_rep >= 0) {
+        ASSERT_TRUE(store.put(rep_key(build.foreign_rep),
+                              rep_payload(build.foreign_rep)));
+    }
+    if (build.manifest) {
+        ASSERT_TRUE(store.put(kManifestKey,
+                              encode_manifest(manifest_for(i))));
+    }
+}
+
+/// A fresh 3-shard fixture under TempDir; per-shard build overrides via
+/// `builds` (indexed by shard).
+struct fixture {
+    fs::path base;
+    std::vector<fs::path> shards;
+    fs::path out;
+
+    explicit fixture(const std::string& tag,
+                     const std::vector<shard_build>& builds = {}) {
+        base = fs::path(::testing::TempDir()) / tag;
+        fs::remove_all(base);
+        fs::create_directories(base);
+        out = base / "merged";
+        for (int i = 0; i < kShards; ++i) {
+            shards.push_back(base / ("s" + std::to_string(i)));
+            const shard_build build = static_cast<std::size_t>(i) <
+                                              builds.size()
+                                          ? builds[static_cast<std::size_t>(i)]
+                                          : shard_build{};
+            build_shard(shards.back(), i, build);
+        }
+    }
+};
+
+void expect_refused(const merge_result& result, merge_issue_kind kind,
+                    int exit_code, const fs::path& out) {
+    ASSERT_FALSE(result.issues.empty());
+    bool found = false;
+    for (const auto& issue : result.issues) found |= issue.kind == kind;
+    EXPECT_TRUE(found) << "expected a " << merge_issue_kind_name(kind)
+                       << " issue";
+    EXPECT_EQ(merge_exit_code(result.issues), exit_code);
+    EXPECT_FALSE(fs::exists(out))
+        << "a refused merge must not write the merged store";
+}
+
+TEST(MergeTool, CleanMergeSplicesEveryReplicationInIndexOrder) {
+    fixture f("csense_merge_clean");
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    ASSERT_TRUE(result.issues.empty());
+    EXPECT_EQ(result.records_merged, static_cast<std::size_t>(kReps));
+    ASSERT_TRUE(result.manifest.has_value());
+    EXPECT_EQ(result.manifest->seed, 1u);
+    EXPECT_EQ(result.manifest->filter, "fake");
+    result_store merged(f.out, std::string(kBenchStoreSchema));
+    for (std::int64_t j = 0; j < kReps; ++j) {
+        const auto payload = merged.load(rep_key(j));
+        ASSERT_TRUE(payload.has_value()) << "rep " << j;
+        EXPECT_EQ(*payload, rep_payload(j));
+    }
+}
+
+TEST(MergeTool, MatchingEnvFingerprintPasses) {
+    fixture f("csense_merge_env_ok");
+    const auto result =
+        merge_shard_stores(f.shards, f.out, std::string(""));
+    EXPECT_TRUE(result.issues.empty());
+}
+
+TEST(MergeTool, EnvFingerprintMismatchIsMissingShardClass) {
+    // Shards ran under different CSENSE_* knobs than the merge: the JSON
+    // replay would be keyed to an environment that never ran.
+    fixture f("csense_merge_env_bad");
+    const auto result = merge_shard_stores(
+        f.shards, f.out, std::string("CSENSE_FAST=1"));
+    expect_refused(result, merge_issue_kind::env_mismatch,
+                   kMergeMissingShard, f.out);
+}
+
+TEST(MergeTool, CorruptRecordIsReportedPerKey) {
+    // A torn write, simulated with the store's fs_hooks: the temp file
+    // holds half the record image when the rename happens.
+    shard_build torn;
+    torn.hooks.write_file = [](const fs::path& path,
+                               std::string_view data) {
+        std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+        outf.write(data.data(),
+                   static_cast<std::streamsize>(data.size() / 2));
+        return outf.good();
+    };
+    // Only rep records suffer the torn write; the manifest is written
+    // separately below so pass 1 reaches ownership validation.
+    torn.manifest = false;
+    fixture f("csense_merge_corrupt", {shard_build{}, torn});
+    {
+        result_store store(f.shards[1], std::string(kBenchStoreSchema));
+        ASSERT_TRUE(store.put(kManifestKey,
+                              encode_manifest(manifest_for(1))));
+    }
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::corrupt_record, kMergeCorrupt,
+                   f.out);
+    // The truncated records also read as coverage gaps — both facts are
+    // reported, corruption wins the exit code.
+    bool gap = false;
+    for (const auto& issue : result.issues) {
+        gap |= issue.kind == merge_issue_kind::coverage_gap;
+    }
+    EXPECT_TRUE(gap);
+}
+
+TEST(MergeTool, StaleSchemaRecordIsReportedNotMerged) {
+    shard_build stale;
+    stale.schema = "csense-bench/0";
+    stale.manifest = false;
+    fixture f("csense_merge_stale", {shard_build{}, stale});
+    {
+        // The manifest itself must carry the current schema or pass 1
+        // reports the shard as stale before ownership runs.
+        result_store store(f.shards[1], std::string(kBenchStoreSchema));
+        ASSERT_TRUE(store.put(kManifestKey,
+                              encode_manifest(manifest_for(1))));
+    }
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::stale_schema, kMergeStale,
+                   f.out);
+}
+
+TEST(MergeTool, MissingShardDirectoryIsReported) {
+    fixture f("csense_merge_missing_dir");
+    fs::remove_all(f.shards[2]);
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::missing_shard,
+                   kMergeMissingShard, f.out);
+}
+
+TEST(MergeTool, MissingManifestMeansIncompleteShardRun) {
+    // Records but no manifest — exactly what a shard killed mid-run
+    // leaves behind.
+    shard_build incomplete;
+    incomplete.manifest = false;
+    fixture f("csense_merge_no_manifest",
+              {shard_build{}, shard_build{}, incomplete});
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::missing_shard,
+                   kMergeMissingShard, f.out);
+    bool explained = false;
+    for (const auto& issue : result.issues) {
+        explained |= issue.detail.find("did not complete") !=
+                     std::string::npos;
+    }
+    EXPECT_TRUE(explained);
+}
+
+TEST(MergeTool, TwoShardsClaimingOneReplicationIsADuplicate) {
+    // Replication 1 belongs to shard 1; shard 0 holds a copy anyway.
+    shard_build overreach;
+    overreach.foreign_rep = 1;
+    fixture f("csense_merge_duplicate", {overreach});
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::duplicate_claim,
+                   kMergeDuplicate, f.out);
+}
+
+TEST(MergeTool, MissingOwnedReplicationIsACoverageGap) {
+    shard_build gappy;
+    gappy.skip_rep = 4;  // shard 1 owns {1, 4}
+    fixture f("csense_merge_gap", {shard_build{}, gappy});
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::coverage_gap, kMergeGap,
+                   f.out);
+    ASSERT_EQ(result.issues.size(), 1u);
+    EXPECT_EQ(result.issues[0].shard, 1);
+    EXPECT_EQ(result.issues[0].key, rep_key(4));
+}
+
+TEST(MergeTool, ShardsPassedInWrongOrderAreAMismatch) {
+    fixture f("csense_merge_swapped");
+    const std::vector<fs::path> swapped = {f.shards[1], f.shards[0],
+                                           f.shards[2]};
+    const auto result = merge_shard_stores(swapped, f.out, std::nullopt);
+    expect_refused(result, merge_issue_kind::manifest_mismatch,
+                   kMergeMissingShard, f.out);
+}
+
+TEST(MergeTool, MissingShardOutranksEveryOtherIssue) {
+    // Precedence: an incomplete shard set invalidates finer diagnostics.
+    shard_build gappy;
+    gappy.skip_rep = 0;
+    fixture f("csense_merge_precedence", {gappy});
+    fs::remove_all(f.shards[2]);
+    const auto result = merge_shard_stores(f.shards, f.out, std::nullopt);
+    EXPECT_EQ(merge_exit_code(result.issues), kMergeMissingShard);
+}
+
+// --- the csense_merge binary: pinned CLI exit codes -------------------
+// (compiled only when the tools subtree provides the binary)
+
+#ifdef CSENSE_MERGE_BINARY
+
+int run_merge(const fixture& f, const std::string& extra_args,
+              const fs::path& log) {
+    std::string dirs;
+    for (const auto& shard : f.shards) dirs += "\"" + shard.string() + "\" ";
+    const std::string command =
+        "\"" + std::string(CSENSE_MERGE_BINARY) + "\" --out \"" +
+        f.out.string() + "\" " + dirs + "--no-env-check " + extra_args +
+        " > \"" + log.string() + "\" 2>&1";
+    return CSENSE_EXIT(std::system(command.c_str()));
+}
+
+TEST(MergeTool, BinaryExitCodesMatchTheDocumentedTaxonomy) {
+    fixture clean("csense_merge_cli_clean");
+    EXPECT_EQ(run_merge(clean, "", clean.base / "log.txt"), kMergeOk);
+
+    shard_build incomplete;
+    incomplete.manifest = false;
+    fixture missing("csense_merge_cli_missing",
+                    {shard_build{}, shard_build{}, incomplete});
+    EXPECT_EQ(run_merge(missing, "", missing.base / "log.txt"),
+              kMergeMissingShard);
+    const std::string log = [&] {
+        std::ifstream in(missing.base / "log.txt", std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }();
+    EXPECT_NE(log.find("missing-shard"), std::string::npos) << log;
+    EXPECT_NE(log.find("merged store NOT written"), std::string::npos)
+        << log;
+
+    shard_build gappy;
+    gappy.skip_rep = 4;
+    fixture gap("csense_merge_cli_gap", {shard_build{}, gappy});
+    EXPECT_EQ(run_merge(gap, "", gap.base / "log.txt"), kMergeGap);
+}
+
+TEST(MergeTool, BinaryUsageErrorsExitTwo) {
+    const fs::path base =
+        fs::path(::testing::TempDir()) / "csense_merge_cli_usage";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    const auto run = [&](const std::string& args) {
+        const std::string command = "\"" +
+                                    std::string(CSENSE_MERGE_BINARY) + "\" " +
+                                    args + " > \"" +
+                                    (base / "log.txt").string() + "\" 2>&1";
+        return CSENSE_EXIT(std::system(command.c_str()));
+    };
+    EXPECT_EQ(run(""), kMergeUsage);                       // no --out
+    EXPECT_EQ(run("--out " + (base / "m").string()), kMergeUsage);
+    EXPECT_EQ(run("--bogus"), kMergeUsage);
+}
+
+#endif  // CSENSE_MERGE_BINARY
+
+}  // namespace

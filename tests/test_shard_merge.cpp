@@ -1,0 +1,227 @@
+// Cross-process shard equivalence: `csense_bench --shard i/k` runs over
+// k separate checkpoint stores, merged by csense_merge, must emit JSON
+// byte-identical to one single-process `--no-timings` run — including
+// after one shard is SIGKILLed mid-run and resumed. This is the in-tree
+// twin of the CI shard-merge smoke job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if __has_include(<sys/wait.h>)
+#include <sys/wait.h>
+#include <unistd.h>
+#define CSENSE_HAVE_FORK 1
+#else
+#define CSENSE_HAVE_FORK 0
+#endif
+
+#ifndef CSENSE_MERGE_BINARY
+
+namespace {
+TEST(ShardMerge, SkippedWithoutMergeTool) {
+    GTEST_SKIP() << "csense_merge not built (CSENSE_BUILD_TOOLS=OFF)";
+}
+}  // namespace
+
+#else
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Runs `binary args` in `workdir` under `env` (plus CSENSE_FAST=1 —
+/// the CSENSE_* knobs are part of every checkpoint key, so reference,
+/// shard and merge invocations must share them exactly).
+int run_cmd(const fs::path& workdir, const std::string& binary,
+            const std::string& args, const std::string& env,
+            const fs::path& log) {
+    const std::string command = "cd \"" + workdir.string() +
+                                "\" && CSENSE_FAST=1 " + env + " \"" +
+                                binary + "\" " + args + " > \"" +
+                                log.string() + "\" 2>&1";
+    const int code = std::system(command.c_str());
+#ifdef WEXITSTATUS
+    return WIFEXITED(code) ? WEXITSTATUS(code) : -1;
+#else
+    return code;
+#endif
+}
+
+/// Reference run + k shard runs + merge for one campaign filter; then
+/// the byte-compare. `env` carries the campaign's REPS/NMAX knobs.
+void expect_sharded_equivalence(const std::string& tag,
+                                const std::string& filter,
+                                const std::string& env, int k) {
+    const fs::path base = fs::path(::testing::TempDir()) / tag;
+    fs::remove_all(base);
+    fs::create_directories(base);
+    ASSERT_EQ(run_cmd(base, CSENSE_BENCH_BINARY,
+                      "--filter '" + filter +
+                          "' --no-timings --json ref.json",
+                      env, base / "ref.log"),
+              0)
+        << read_file(base / "ref.log");
+    std::string shard_dirs;
+    for (int i = 0; i < k; ++i) {
+        const std::string dir = "sh" + std::to_string(i);
+        shard_dirs += dir + " ";
+        ASSERT_EQ(run_cmd(base, CSENSE_BENCH_BINARY,
+                          "--filter '" + filter + "' --no-timings --shard " +
+                              std::to_string(i) + "/" + std::to_string(k) +
+                              " --checkpoint " + dir,
+                          env, base / ("shard" + std::to_string(i) + ".log")),
+                  0)
+            << read_file(base / ("shard" + std::to_string(i) + ".log"));
+    }
+    ASSERT_EQ(run_cmd(base, CSENSE_MERGE_BINARY,
+                      "--out merged " + shard_dirs + "--bench \"" +
+                          CSENSE_BENCH_BINARY + "\" --json merged.json",
+                      env, base / "merge.log"),
+              0)
+        << read_file(base / "merge.log");
+    const std::string ref = read_file(base / "ref.json");
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(ref, read_file(base / "merged.json"))
+        << "merged " << k << "-way shard run must reproduce the "
+        << "single-process document byte-for-byte";
+}
+
+TEST(ShardMerge, Camp05ThreeWayMergeIsByteIdentical) {
+    // NMAX caps the density sweep at one N so the test stays fast;
+    // REPS=3 gives each of the three shard processes exactly one
+    // replication to own.
+    expect_sharded_equivalence(
+        "csense_shard_camp05", "camp05*",
+        "CSENSE_CAMP05_NMAX=200 CSENSE_CAMP05_REPS=3", 3);
+}
+
+TEST(ShardMerge, Camp06ThreeWayMergeIsByteIdentical) {
+    expect_sharded_equivalence(
+        "csense_shard_camp06", "camp06*",
+        "CSENSE_CAMP06_NMAX=10 CSENSE_CAMP06_REPS=3", 3);
+}
+
+TEST(ShardMerge, KilledShardRefusesToMergeThenResumesByteIdentical) {
+#if !CSENSE_HAVE_FORK
+    GTEST_SKIP() << "needs fork/kill";
+#else
+    // Shard 2 is SIGKILLed after its camp05 replication lands but while
+    // the fault drill is still sleeping: the store holds real records
+    // but no manifest. csense_merge must refuse (exit 5, missing-shard)
+    // rather than merge an incomplete shard; after the shard is resumed
+    // the merge must produce the byte-identical document.
+    const fs::path base = fs::path(::testing::TempDir()) / "csense_shard_kill";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    const std::string filter = "camp05*,x00_fault_drill";
+    const std::string env =
+        "CSENSE_CAMP05_NMAX=200 CSENSE_CAMP05_REPS=3 "
+        "CSENSE_DRILL_MODE=sleep CSENSE_DRILL_MS=2000";
+    ASSERT_EQ(run_cmd(base, CSENSE_BENCH_BINARY,
+                      "--filter '" + filter +
+                          "' --no-timings --json ref.json",
+                      env, base / "ref.log"),
+              0)
+        << read_file(base / "ref.log");
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_EQ(run_cmd(base, CSENSE_BENCH_BINARY,
+                          "--filter '" + filter + "' --no-timings --shard " +
+                              std::to_string(i) +
+                              "/3 --checkpoint sh" + std::to_string(i),
+                          env, base / ("shard" + std::to_string(i) + ".log")),
+                  0)
+            << read_file(base / ("shard" + std::to_string(i) + ".log"));
+    }
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        const std::string command =
+            "cd \"" + base.string() + "\" && exec env " + env +
+            " CSENSE_FAST=1 \"" + CSENSE_BENCH_BINARY + "\" --filter '" +
+            filter + "' --no-timings --shard 2/3 --checkpoint sh2 "
+            "> shard2_killed.log 2>&1";
+        execl("/bin/sh", "sh", "-c", command.c_str(),
+              static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    // Wait until shard 2's camp05 replication record lands (the drill
+    // is sleeping by then — scenarios run in name order), then SIGKILL.
+    const fs::path store = base / "sh2";
+    bool replicated = false;
+    for (int i = 0; i < 2000 && !replicated; ++i) {
+        if (fs::exists(store)) {
+            for (const auto& entry : fs::directory_iterator(store)) {
+                if (entry.path().filename().string().rfind("shard_camp05",
+                                                           0) == 0) {
+                    replicated = true;
+                    break;
+                }
+            }
+        }
+        if (!replicated) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    kill(child, SIGKILL);
+    int status = 0;
+    waitpid(child, &status, 0);
+    ASSERT_TRUE(replicated)
+        << "shard 2 never wrote its replication record; log:\n"
+        << read_file(base / "shard2_killed.log");
+    ASSERT_FALSE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "shard 2 was supposed to die mid-run";
+
+    // An incomplete shard (records, no manifest) must refuse with the
+    // documented missing-shard exit code and write nothing.
+    EXPECT_EQ(run_cmd(base, CSENSE_MERGE_BINARY,
+                      "--out merged sh0 sh1 sh2", env,
+                      base / "merge_refused.log"),
+              5)
+        << read_file(base / "merge_refused.log");
+    EXPECT_NE(read_file(base / "merge_refused.log").find("missing-shard"),
+              std::string::npos);
+    EXPECT_FALSE(fs::exists(base / "merged"))
+        << "a refused merge must not write the merged store";
+
+    // Resume shard 2 over its own store (the stored replication loads,
+    // the drill recomputes, the manifest lands), then merge for real.
+    ASSERT_EQ(run_cmd(base, CSENSE_BENCH_BINARY,
+                      "--filter '" + filter +
+                          "' --no-timings --shard 2/3 --checkpoint sh2",
+                      env, base / "shard2_resume.log"),
+              0)
+        << read_file(base / "shard2_resume.log");
+    ASSERT_EQ(run_cmd(base, CSENSE_MERGE_BINARY,
+                      "--out merged sh0 sh1 sh2 --bench \"" +
+                          std::string(CSENSE_BENCH_BINARY) +
+                          "\" --json merged.json",
+                      env, base / "merge.log"),
+              0)
+        << read_file(base / "merge.log");
+    const std::string ref = read_file(base / "ref.json");
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(ref, read_file(base / "merged.json"))
+        << "kill -9 of one shard + resume + merge must reproduce the "
+           "single-process document byte-for-byte";
+#endif
+}
+
+}  // namespace
+
+#endif  // CSENSE_MERGE_BINARY

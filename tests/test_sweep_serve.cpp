@@ -1,0 +1,372 @@
+// The sweep-server protocol: request parsing (malformed input is a
+// structured error, never a wrong-cell query), cache-key construction,
+// hit/miss/coalesce behavior against an injected runner, and the real
+// csense_sweep_serve binary end-to-end over its unix socket (warm hit,
+// miss-then-schedule, malformed line, clean shutdown).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/sweep_server.hpp"
+#include "src/store/result_store.hpp"
+#include "src/store/run_keys.hpp"
+
+#if __has_include(<sys/socket.h>)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define CSENSE_HAVE_SOCKETS 1
+#else
+#define CSENSE_HAVE_SOCKETS 0
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace csense;
+
+// --- parse_request ----------------------------------------------------
+
+std::string parse_error_for(const std::string& line) {
+    std::string error;
+    const auto request = serve::parse_request(line, &error);
+    EXPECT_FALSE(request.has_value()) << line;
+    return error;
+}
+
+TEST(SweepServeParse, AcceptsAFullQuery) {
+    std::string error;
+    const auto request = serve::parse_request(
+        R"({"op":"query","scenario":"fn12_slope_bound","seed":11,)"
+        R"("env":{"CSENSE_FAST":"1","CSENSE_CAMP05_REPS":"3"}})",
+        &error);
+    ASSERT_TRUE(request.has_value()) << error;
+    EXPECT_EQ(request->kind, serve::sweep_request::op::query);
+    EXPECT_EQ(request->scenario, "fn12_slope_bound");
+    EXPECT_EQ(request->seed, 11u);
+    // env comes back sorted by name regardless of request order.
+    ASSERT_EQ(request->env.size(), 2u);
+    EXPECT_EQ(request->env[0].first, "CSENSE_CAMP05_REPS");
+    EXPECT_EQ(request->env[1].first, "CSENSE_FAST");
+}
+
+TEST(SweepServeParse, SeedDefaultsToTheBenchDefault) {
+    const auto request = serve::parse_request(
+        R"({"op":"query","scenario":"fn12_slope_bound"})");
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->seed, 7u);
+}
+
+TEST(SweepServeParse, MalformedInputIsAStructuredError) {
+    EXPECT_NE(parse_error_for("{nope").find("malformed JSON"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for("42").find("JSON object"), std::string::npos);
+    EXPECT_NE(parse_error_for(R"({"scenario":"x"})").find("'op'"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for(R"({"op":"frob"})").find("unknown op"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for(R"({"op":"query"})").find("scenario"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for(
+                  R"({"op":"query","scenario":"x","seed":"7"})")
+                  .find("'seed'"),
+              std::string::npos);
+}
+
+TEST(SweepServeParse, EnvOutsideTheNamespaceNeverQueriesACell) {
+    // A typo'd knob must be rejected, not silently fingerprinted into a
+    // different (always-miss) cache key.
+    EXPECT_NE(parse_error_for(
+                  R"({"op":"query","scenario":"x","env":{"PATH":"p"}})")
+                  .find("CSENSE_*"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for(R"({"op":"query","scenario":"x",)"
+                              R"("env":{"CSENSE_THREADS":"4"}})")
+                  .find("CSENSE_THREADS"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for(R"({"op":"query","scenario":"x",)"
+                              R"("env":{"CSENSE_FAST":1}})")
+                  .find("must be a string"),
+              std::string::npos);
+    EXPECT_NE(parse_error_for(R"({"op":"query","scenario":"x",)"
+                              R"("env":{"CSENSE_FAST":"1;2"}})")
+                  .find("';'"),
+              std::string::npos);
+}
+
+TEST(SweepServeParse, QueryKeyIsTheScenarioRecordKey) {
+    // The whole point of the cache: a sweep query and a batch
+    // `--checkpoint` run converge on the same store key.
+    serve::sweep_request request;
+    request.scenario = "fn12_slope_bound";
+    request.seed = 7;
+    request.env = {{"CSENSE_FAST", "1"}};
+    EXPECT_EQ(serve::query_record_key(request),
+              "scenario/fn12_slope_bound?seed=7&env=CSENSE_FAST=1"
+              "&repeat=1&timings=0");
+}
+
+// --- sweep_server with an injected runner -----------------------------
+
+struct server_fixture {
+    fs::path store_dir;
+    std::atomic<int> runs{0};
+    std::atomic<bool> runner_ok{true};
+
+    explicit server_fixture(const std::string& tag) {
+        store_dir = fs::path(::testing::TempDir()) / tag;
+        fs::remove_all(store_dir);
+    }
+
+    serve::sweep_server::config config() {
+        serve::sweep_server::config cfg;
+        cfg.store_root = store_dir;
+        cfg.scenario_known = [](const std::string& name) {
+            return name == "fake";
+        };
+        cfg.runner = [this](const serve::sweep_request&,
+                            const std::string& key) {
+            ++runs;
+            if (!runner_ok) return false;
+            store::result_store store(store_dir,
+                                      std::string(store::kBenchStoreSchema));
+            return store.put(key, R"({"name":"fake","value":42})");
+        };
+        return cfg;
+    }
+};
+
+TEST(SweepServer, MissComputesOnceThenHits) {
+    server_fixture f("csense_serve_misshit");
+    serve::sweep_server server(f.config());
+    const std::string query = R"({"op":"query","scenario":"fake"})";
+    const std::string first = server.handle_line(query);
+    EXPECT_NE(first.find(R"("status":"computed")"), std::string::npos)
+        << first;
+    EXPECT_NE(first.find(R"("value":42)"), std::string::npos) << first;
+    const std::string second = server.handle_line(query);
+    EXPECT_NE(second.find(R"("status":"hit")"), std::string::npos)
+        << second;
+    EXPECT_EQ(f.runs.load(), 1) << "a cached cell must not re-run its job";
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.jobs_started, 1u);
+}
+
+TEST(SweepServer, UnknownScenarioAndFailedJobsAreErrors) {
+    server_fixture f("csense_serve_errors");
+    serve::sweep_server server(f.config());
+    const std::string unknown =
+        server.handle_line(R"({"op":"query","scenario":"typo"})");
+    EXPECT_NE(unknown.find(R"("ok":false)"), std::string::npos) << unknown;
+    EXPECT_NE(unknown.find("unknown scenario"), std::string::npos);
+
+    // A runner that completes but never produces the record: the store,
+    // not the runner's return value, defines success.
+    f.runner_ok = false;
+    const std::string failed =
+        server.handle_line(R"({"op":"query","scenario":"fake"})");
+    EXPECT_NE(failed.find(R"("ok":false)"), std::string::npos) << failed;
+    EXPECT_NE(failed.find("did not produce a record"), std::string::npos);
+    EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(SweepServer, ConcurrentIdenticalQueriesCoalesceOntoOneJob) {
+    server_fixture f("csense_serve_coalesce");
+    serve::sweep_server::config cfg = f.config();
+    serve::sweep_server* handle = nullptr;
+    cfg.runner = [&f, &handle](const serve::sweep_request&,
+                               const std::string& key) {
+        ++f.runs;
+        // Hold the job open until the second query has registered its
+        // miss (bounded, so a pathological scheduler cannot hang the
+        // test — it would then merely report a flaky-free second job).
+        for (int i = 0; i < 10'000 && handle->stats().misses < 2; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        store::result_store store(f.store_dir,
+                                  std::string(store::kBenchStoreSchema));
+        return store.put(key, R"({"name":"fake"})");
+    };
+    serve::sweep_server server(std::move(cfg));
+    handle = &server;
+    const std::string query = R"({"op":"query","scenario":"fake"})";
+    std::string a;
+    std::string b;
+    std::thread ta([&] { a = server.handle_line(query); });
+    std::thread tb([&] { b = server.handle_line(query); });
+    ta.join();
+    tb.join();
+    EXPECT_NE(a.find(R"("status":"computed")"), std::string::npos) << a;
+    EXPECT_NE(b.find(R"("status":"computed")"), std::string::npos) << b;
+    EXPECT_EQ(f.runs.load(), 1)
+        << "identical in-flight queries must share a job";
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.jobs_started, 1u);
+    EXPECT_EQ(stats.coalesced, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(SweepServer, StatsAndShutdownOps) {
+    server_fixture f("csense_serve_ops");
+    serve::sweep_server server(f.config());
+    const std::string stats = server.handle_line(R"({"op":"stats"})");
+    EXPECT_NE(stats.find(R"("jobs_started":0)"), std::string::npos)
+        << stats;
+    EXPECT_FALSE(server.shutdown_requested());
+    const std::string bye = server.handle_line(R"({"op":"shutdown"})");
+    EXPECT_NE(bye.find("shutting_down"), std::string::npos) << bye;
+    EXPECT_TRUE(server.shutdown_requested());
+}
+
+// --- the csense_sweep_serve binary over its socket --------------------
+
+#if CSENSE_HAVE_SOCKETS
+
+/// One request/response round trip on a fresh connection.
+std::string round_trip(const std::string& socket_path,
+                       const std::string& line) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return "<socket failed>";
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return "<path too long>";
+    }
+    socket_path.copy(addr.sun_path, socket_path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "<connect failed>";
+    }
+    const std::string request = line + "\n";
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t w = ::send(fd, request.data() + sent,
+                                 request.size() - sent, 0);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+    }
+    std::string response;
+    char chunk[4096];
+    while (response.find('\n') == std::string::npos) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const std::size_t eol = response.find('\n');
+    return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
+struct server_process {
+    pid_t pid = -1;
+    std::string socket_path;
+
+    bool start(const fs::path& store, const fs::path& socket) {
+        socket_path = socket.string();
+        pid = fork();
+        if (pid < 0) return false;
+        if (pid == 0) {
+            if (std::freopen("/dev/null", "w", stdout) == nullptr) {
+                _exit(127);
+            }
+            execl(CSENSE_SERVE_BINARY, CSENSE_SERVE_BINARY, "--store",
+                  store.c_str(), "--socket", socket.c_str(), "--bench",
+                  CSENSE_BENCH_BINARY, static_cast<char*>(nullptr));
+            _exit(127);
+        }
+        for (int i = 0; i < 1000; ++i) {
+            if (fs::exists(socket)) return true;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        return false;
+    }
+
+    int stop() {
+        if (pid < 0) return -1;
+        round_trip(socket_path, R"({"op":"shutdown"})");
+        int status = 0;
+        waitpid(pid, &status, 0);
+        pid = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    ~server_process() {
+        if (pid > 0) {
+            kill(pid, SIGKILL);
+            waitpid(pid, nullptr, 0);
+        }
+    }
+};
+
+TEST(SweepServeBinary, WarmHitMissScheduleAndCleanShutdown) {
+    const fs::path base =
+        fs::path(::testing::TempDir()) / "csense_serve_binary";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    const fs::path store = base / "store";
+
+    // Warm one cell the way any batch run would: the server must serve
+    // it as a hit without scheduling a job.
+    const std::string warm =
+        "CSENSE_FAST=1 \"" + std::string(CSENSE_BENCH_BINARY) +
+        "\" --filter fn12_slope_bound --seed 7 --no-timings --checkpoint \"" +
+        store.string() + "\" > \"" + (base / "warm.log").string() +
+        "\" 2>&1";
+    ASSERT_EQ(std::system(warm.c_str()), 0);
+
+    server_process server;
+    ASSERT_TRUE(server.start(store, base / "sock"))
+        << "server never bound its socket";
+
+    const std::string hit = round_trip(
+        server.socket_path,
+        R"({"op":"query","scenario":"fn12_slope_bound","seed":7,)"
+        R"("env":{"CSENSE_FAST":"1"}})");
+    EXPECT_NE(hit.find(R"("status":"hit")"), std::string::npos) << hit;
+    EXPECT_NE(hit.find(R"("name":"fn12_slope_bound")"), std::string::npos)
+        << hit;
+
+    // A cold cell: scheduled as a csense_bench job, then served; the
+    // same query afterwards is a plain hit.
+    const std::string cold_query =
+        R"({"op":"query","scenario":"x01_shadowing_example","seed":7,)"
+        R"("env":{"CSENSE_FAST":"1"}})";
+    const std::string computed = round_trip(server.socket_path, cold_query);
+    EXPECT_NE(computed.find(R"("status":"computed")"), std::string::npos)
+        << computed;
+    const std::string rehit = round_trip(server.socket_path, cold_query);
+    EXPECT_NE(rehit.find(R"("status":"hit")"), std::string::npos) << rehit;
+
+    const std::string malformed =
+        round_trip(server.socket_path, "{definitely not json");
+    EXPECT_NE(malformed.find(R"("ok":false)"), std::string::npos)
+        << malformed;
+
+    const std::string stats =
+        round_trip(server.socket_path, R"({"op":"stats"})");
+    EXPECT_NE(stats.find(R"("hits":2)"), std::string::npos) << stats;
+    EXPECT_NE(stats.find(R"("jobs_started":1)"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find(R"("errors":1)"), std::string::npos) << stats;
+
+    EXPECT_EQ(server.stop(), 0) << "shutdown must exit the server cleanly";
+    EXPECT_FALSE(fs::exists(base / "sock"))
+        << "a clean shutdown unlinks the socket";
+}
+
+#endif  // CSENSE_HAVE_SOCKETS
+
+}  // namespace

@@ -1,0 +1,252 @@
+// csense_merge: validate k shard checkpoint stores (written by
+// `csense_bench --shard i/k --checkpoint <dir>`) and splice their
+// replication records into one merged store — then, optionally, replay
+// the merged store through csense_bench to emit the final JSON
+// document, byte-identical to an unsharded `--no-timings` run.
+//
+//   csense_merge --out <merged-dir> <shard-dir>...
+//       [--json <path>] [--bench <path>] [--threads <n>] [--no-env-check]
+//
+// Validation is collect-then-report: every issue across every shard is
+// printed (kind, shard, key, reason) before exiting, and the merged
+// store is only written when the issue list is empty — a merge can
+// never silently drop cells. Exit codes (docs/robustness.md):
+//
+//   0  ok            merged (and, with --json, replayed) cleanly
+//   1  fatal         environment failure (unwritable --out, replay
+//                    binary missing, ...)
+//   2  usage         malformed command line
+//   3  corrupt       a record failed structural/checksum validation
+//   4  stale         a record carries another store schema version
+//   5  missing       a shard store/manifest is absent, manifests
+//                    disagree, or the CSENSE_* env fingerprint does not
+//                    match the merge's environment
+//   6  duplicate     a shard holds a record another shard owns
+//   7  gap           an owned replication record is missing
+//
+// When several kinds occur at once the exit code follows precedence
+// 5 > 3 > 4 > 6 > 7 (an incomplete shard set invalidates finer
+// diagnostics); every issue is still printed.
+//
+// The JSON emission deliberately replays through csense_bench (default:
+// the csense_merge binary's own directory) instead of reimplementing
+// the driver's document layout: same binary, same bytes, and the replay
+// recomputes nothing because every replication record is already in the
+// merged store.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/run_keys.hpp"
+#include "src/store/shard_merge.hpp"
+
+namespace {
+
+using namespace csense;
+
+struct options {
+    std::string out_dir;
+    std::vector<std::filesystem::path> shards;
+    std::string json_path;
+    std::string bench_path;
+    int threads = 0;
+    bool env_check = true;
+};
+
+void print_usage(std::FILE* out) {
+    std::fprintf(out,
+                 "usage: csense_merge --out <merged-dir> <shard-dir>... "
+                 "[--json <path>] [--bench <path>] [--threads <n>] "
+                 "[--no-env-check]\n");
+}
+
+bool parse_args(int argc, char** argv, options& opts) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "csense_merge: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            const char* v = value("--out");
+            if (v == nullptr) return false;
+            opts.out_dir = v;
+        } else if (arg == "--json") {
+            const char* v = value("--json");
+            if (v == nullptr) return false;
+            opts.json_path = v;
+        } else if (arg == "--bench") {
+            const char* v = value("--bench");
+            if (v == nullptr) return false;
+            opts.bench_path = v;
+        } else if (arg == "--threads") {
+            const char* v = value("--threads");
+            if (v == nullptr) return false;
+            opts.threads = std::atoi(v);
+            if (opts.threads < 0) {
+                std::fprintf(stderr, "csense_merge: bad --threads '%s'\n",
+                             v);
+                return false;
+            }
+        } else if (arg == "--no-env-check") {
+            opts.env_check = false;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage(stdout);
+            std::exit(store::kMergeOk);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "csense_merge: unknown argument '%s'\n",
+                         argv[i]);
+            print_usage(stderr);
+            return false;
+        } else {
+            opts.shards.emplace_back(std::string(arg));
+        }
+    }
+    if (opts.out_dir.empty()) {
+        std::fprintf(stderr, "csense_merge: --out is required\n");
+        print_usage(stderr);
+        return false;
+    }
+    if (opts.shards.empty()) {
+        std::fprintf(stderr,
+                     "csense_merge: at least one shard store is required\n");
+        print_usage(stderr);
+        return false;
+    }
+    return true;
+}
+
+/// Replays the merged store through csense_bench so the final document
+/// comes from the same code path (and the same bytes) as an unsharded
+/// run. Returns the tool exit code.
+int emit_json(const options& opts, const store::shard_manifest& manifest) {
+    std::string bench = opts.bench_path;
+    if (bench.empty()) {
+        // Default to the csense_bench next to this binary — both land
+        // in the build root.
+        std::error_code ec;
+        const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+        bench = ec ? "csense_bench"
+                   : (self.parent_path() / "csense_bench").string();
+    }
+    std::vector<std::string> args = {
+        bench,     "--checkpoint", opts.out_dir,
+        "--json",  opts.json_path, "--no-timings",
+        "--seed",  std::to_string(manifest.seed),
+        "--filter", manifest.filter};
+    if (opts.threads > 0) {
+        args.push_back("--threads");
+        args.push_back(std::to_string(opts.threads));
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::fprintf(stderr, "csense_merge: fork failed (errno %d)\n",
+                     errno);
+        return store::kMergeFatal;
+    }
+    if (pid == 0) {
+        execv(bench.c_str(), argv.data());
+        std::fprintf(stderr,
+                     "csense_merge: cannot exec '%s' (errno %d)\n",
+                     bench.c_str(), errno);
+        _exit(127);
+    }
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) < 0) {
+        std::fprintf(stderr, "csense_merge: waitpid failed (errno %d)\n",
+                     errno);
+        return store::kMergeFatal;
+    }
+    if (!WIFEXITED(wstatus)) {
+        std::fprintf(stderr, "csense_merge: replay terminated abnormally\n");
+        return store::kMergeFatal;
+    }
+    const int code = WEXITSTATUS(wstatus);
+    // Exit 3 = the replay completed and wrote the JSON, but a scenario
+    // gate failed — a property of the results, not of the merge.
+    if (code == 3) {
+        std::fprintf(stderr,
+                     "csense_merge: note: replay reported gate failures "
+                     "(JSON written)\n");
+        return store::kMergeOk;
+    }
+    if (code != 0) {
+        std::fprintf(stderr, "csense_merge: replay exited with code %d\n",
+                     code);
+        return store::kMergeFatal;
+    }
+    return store::kMergeOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    options opts;
+    if (!parse_args(argc, argv, opts)) return store::kMergeUsage;
+
+    std::optional<std::string> expected_env_fp;
+    if (opts.env_check) {
+        expected_env_fp = store::current_env_fingerprint();
+    }
+
+    store::merge_result result;
+    try {
+        result = store::merge_shard_stores(opts.shards, opts.out_dir,
+                                           expected_env_fp);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "csense_merge: %s\n", e.what());
+        return store::kMergeFatal;
+    }
+
+    for (const auto& issue : result.issues) {
+        std::fprintf(stderr, "csense_merge: [%s]",
+                     store::merge_issue_kind_name(issue.kind));
+        if (issue.shard >= 0) {
+            std::fprintf(stderr, " shard %d", issue.shard);
+        }
+        if (!issue.key.empty()) {
+            std::fprintf(stderr, " %s", issue.key.c_str());
+        }
+        std::fprintf(stderr, ": %s\n", issue.detail.c_str());
+    }
+    if (!result.issues.empty()) {
+        std::fprintf(stderr,
+                     "csense_merge: %zu issue(s); merged store NOT "
+                     "written\n", result.issues.size());
+        return store::merge_exit_code(result.issues);
+    }
+    if (!result.manifest) {
+        // merge_shard_stores reports an empty issue list only with a
+        // manifest; this is a defensive belt.
+        std::fprintf(stderr, "csense_merge: no shard manifest found\n");
+        return store::kMergeMissingShard;
+    }
+    std::printf("csense_merge: %zu record(s) merged into %s",
+                result.records_merged, opts.out_dir.c_str());
+    if (result.records_ignored > 0) {
+        std::printf(" (%zu foreign record(s) ignored)",
+                    result.records_ignored);
+    }
+    std::printf("\n");
+
+    if (!opts.json_path.empty()) {
+        return emit_json(opts, *result.manifest);
+    }
+    return store::kMergeOk;
+}
