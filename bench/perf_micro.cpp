@@ -184,6 +184,71 @@ void bm_event_queue(benchmark::State& state) {
 }
 BENCHMARK(bm_event_queue)->Apply(tune);
 
+void bm_event_schedule_cancel(benchmark::State& state) {
+    // The MAC's dominant scheduler pattern at dense-network scale: every
+    // node keeps a backoff/DIFS timer armed, and a channel busy/idle
+    // flip cancels and re-arms a whole cohort of them at once, so a
+    // camp05/camp06-sized run holds thousands of pending timers while
+    // near-term events churn. bm_event_queue only drains; this maintains
+    // one outstanding timer per "node" (2000, the camp05 dense sweep's
+    // top N), re-arms a cohort per simulated slot, and measures the
+    // schedule -> cancel -> reschedule cycle against that standing
+    // population. The timer closure carries the same 32-byte payload as
+    // the DCF's timer dispatch (this + generation + member-function
+    // handler), so the cost of type-erasing the callable is the cost the
+    // MAC actually pays per arm.
+    constexpr int kNodes = 2000;
+    constexpr int kCohort = 40;
+    constexpr int kRounds = 1000;
+    std::vector<sim::event_id> timers(kNodes);
+    for (auto _ : state) {
+        sim::simulator simulator;
+        std::uint64_t fired = 0;
+        std::uint64_t generation = 0;
+        const auto arm = [&](int n) {
+            const double deadline = 500.0 + 9.0 * (n % 64);
+            const auto node = static_cast<std::uint64_t>(n);
+            return simulator.schedule_in(
+                deadline, [&fired, generation, node, deadline] {
+                    fired += generation + node + static_cast<std::uint64_t>(deadline);
+                });
+        };
+        for (int n = 0; n < kNodes; ++n) timers[n] = arm(n);
+        for (int i = 0; i < kRounds; ++i) {
+            for (int j = 0; j < kCohort; ++j) {
+                const int n = (i * kCohort + j) % kNodes;
+                ++generation;
+                simulator.cancel(timers[n]);
+                timers[n] = arm(n);
+            }
+            simulator.schedule_in(9.0, [&fired] { ++fired; });
+            simulator.run_until(simulator.now() + 9.0);
+        }
+        for (const auto id : timers) simulator.cancel(id);
+        simulator.run_all();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(bm_event_schedule_cancel)
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(tune);
+
+void bm_dcf_packet_path(benchmark::State& state) {
+    // End-to-end per-packet cost of the DCF hot path with no contention:
+    // arrival -> backoff timers -> preamble/energy updates -> tx end,
+    // 100 ms of a saturated single pair. Isolates scheduler + node state
+    // cost from medium fan-out (bm_medium_dense covers that axis).
+    const auto& rate = capacity::rate_by_mbps(24.0);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mac::run_single_pair(
+            mac::radio_config{}, -60.0, rate, 1e5, 1400, seed++));
+    }
+}
+BENCHMARK(bm_dcf_packet_path)
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(tune);
+
 void bm_medium_dense(benchmark::State& state) {
     // Dense-network medium scaling: a 20 ms slice of a saturated
     // N-pair arena (fixed 600 m, alpha 4), network construction

@@ -15,14 +15,15 @@ constexpr sim::time_us timeout_margin_us = 10.0;
 }  // namespace
 
 dcf_node::dcf_node(sim::simulator& sim, medium& med, mac_config config,
-                   std::uint64_t seed)
+                   std::uint64_t seed, dcf_hot_state* hot)
     : sim_(sim), medium_(med), config_(config), id_(med.add_node(*this)),
       rng_(seed), control_rate_(&capacity::rate_by_mbps(6.0)),
-      cw_(config.cw_min) {
+      hot_(hot != nullptr ? hot : &own_hot_) {
     if (config_.cw_min < 1 || config_.cw_max < config_.cw_min) {
         throw std::invalid_argument("dcf_node: bad contention window");
     }
-    last_external_power_dbm_ = med.radio().noise_floor_dbm;
+    hot_->cw = config_.cw_min;
+    hot_->last_external_power_dbm = med.radio().noise_floor_dbm;
 }
 
 dcf_node::~dcf_node() {
@@ -55,7 +56,7 @@ void dcf_node::start() {
     if (source_ == nullptr || source_->saturated()) {
         // The historical always-backlogged path: refill inline, no
         // arrival events — byte-identical to the pre-queue MAC.
-        state_ = state::contending;
+        hot_->state = state::contending;
         new_packet();
         head_enqueued_us_ = sim_.now();
         reevaluate();
@@ -75,9 +76,9 @@ void dcf_node::schedule_next_arrival() {
 
 void dcf_node::on_arrival() {
     ++stats_.offered_packets;
-    if (!have_packet_) {
+    if (!hot_->have_packet) {
         head_enqueued_us_ = sim_.now();
-        state_ = state::contending;
+        hot_->state = state::contending;
         new_packet();
         reevaluate();
     } else if (queue_.size() <
@@ -101,46 +102,46 @@ bool dcf_node::rts_active() const {
 bool dcf_node::channel_busy() const {
     if (!sense_enabled()) return false;
     const sim::time_us now = sim_.now();
-    if (now < nav_until_) return true;
+    if (now < hot_->nav_until) return true;
     const bool energy_mode = config_.sense == cs_mode::energy ||
                              config_.sense == cs_mode::energy_and_preamble;
-    if (energy_mode && energy_busy_) return true;
+    if (energy_mode && hot_->energy_busy) return true;
     const bool preamble_mode = config_.sense == cs_mode::preamble ||
                                config_.sense == cs_mode::energy_and_preamble;
-    if (preamble_mode && now < preamble_busy_until_) return true;
+    if (preamble_mode && now < hot_->preamble_busy_until) return true;
     return false;
 }
 
 void dcf_node::cancel_timer() {
-    ++timer_generation_;
-    difs_done_ = false;
+    ++hot_->timer_generation;
+    hot_->difs_done = false;
 }
 
 void dcf_node::schedule_timer(sim::time_us delay,
                               void (dcf_node::*handler)()) {
-    const std::uint64_t generation = ++timer_generation_;
+    const std::uint64_t generation = ++hot_->timer_generation;
     sim_.schedule_in(delay, [this, generation, handler] {
-        if (generation == timer_generation_) (this->*handler)();
+        if (generation == hot_->timer_generation) (this->*handler)();
     });
 }
 
 void dcf_node::reevaluate() {
-    if (state_ != state::contending || !have_packet_) return;
+    if (hot_->state != state::contending || !hot_->have_packet) return;
     if (channel_busy()) {
         cancel_timer();
         return;
     }
     if (medium_.transmitting(id_)) return;  // a response frame is on the air
-    if (!difs_done_) {
+    if (!hot_->difs_done) {
         schedule_timer(ofdm_timing::difs_us, &dcf_node::on_difs_end);
     }
 }
 
 void dcf_node::on_difs_end() {
-    if (state_ != state::contending || channel_busy()) return;
+    if (hot_->state != state::contending || channel_busy()) return;
     if (medium_.transmitting(id_)) return;  // response frame on the air
-    difs_done_ = true;
-    if (slots_left_ == 0) {
+    hot_->difs_done = true;
+    if (hot_->slots_left == 0) {
         begin_transmission();
         return;
     }
@@ -148,9 +149,9 @@ void dcf_node::on_difs_end() {
 }
 
 void dcf_node::on_slot() {
-    if (state_ != state::contending || channel_busy()) return;
+    if (hot_->state != state::contending || channel_busy()) return;
     if (medium_.transmitting(id_)) return;  // response frame on the air
-    if (--slots_left_ <= 0) {
+    if (--hot_->slots_left <= 0) {
         begin_transmission();
         return;
     }
@@ -206,38 +207,38 @@ const capacity::phy_rate& dcf_node::current_data_rate() {
 }
 
 void dcf_node::new_packet() {
-    have_packet_ = true;
-    retries_ = 0;
-    cw_ = config_.cw_min;
+    hot_->have_packet = true;
+    hot_->retries = 0;
+    hot_->cw = config_.cw_min;
     ++frame_sequence_;
     packet_rate_ = &current_data_rate();
-    slots_left_ = static_cast<int>(rng_.uniform_int(
-        static_cast<std::uint64_t>(cw_) + 1));
-    difs_done_ = false;
+    hot_->slots_left = static_cast<int>(rng_.uniform_int(
+        static_cast<std::uint64_t>(hot_->cw) + 1));
+    hot_->difs_done = false;
 }
 
 void dcf_node::retry_packet() {
-    ++retries_;
-    if (retries_ > config_.retry_limit) {
+    ++hot_->retries;
+    if (hot_->retries > config_.retry_limit) {
         ++stats_.data_dropped;
         packet_done(false);
         return;
     }
-    cw_ = std::min(2 * (cw_ + 1) - 1, config_.cw_max);
-    slots_left_ = static_cast<int>(rng_.uniform_int(
-        static_cast<std::uint64_t>(cw_) + 1));
-    difs_done_ = false;
+    hot_->cw = std::min(2 * (hot_->cw + 1) - 1, config_.cw_max);
+    hot_->slots_left = static_cast<int>(rng_.uniform_int(
+        static_cast<std::uint64_t>(hot_->cw) + 1));
+    hot_->difs_done = false;
     packet_rate_ = &current_data_rate();  // adaptation may back off the rate
-    state_ = state::contending;
+    hot_->state = state::contending;
     reevaluate();
 }
 
 void dcf_node::packet_done(bool delivered) {
-    if (delivered && have_packet_) {
+    if (delivered && hot_->have_packet) {
         sojourn_.add(sim_.now() - head_enqueued_us_);
     }
-    have_packet_ = false;
-    state_ = state::contending;
+    hot_->have_packet = false;
+    hot_->state = state::contending;
     if (traffic_ == traffic_mode::none) return;
     if (source_ == nullptr || source_->saturated()) {
         new_packet();  // saturated sources always have a next packet
@@ -246,7 +247,7 @@ void dcf_node::packet_done(bool delivered) {
         return;
     }
     if (queue_.empty()) {
-        state_ = state::idle;  // drained; the next arrival restarts us
+        hot_->state = state::idle;  // drained; the next arrival restarts us
         return;
     }
     head_enqueued_us_ = queue_.front();
@@ -269,17 +270,17 @@ void dcf_node::begin_transmission() {
 }
 
 void dcf_node::transmit_frame(const frame& f) {
-    state_ = state::transmitting;
+    hot_->state = state::transmitting;
     medium_.start_transmission(id_, f, sense_enabled());
 }
 
 void dcf_node::start_response_timeout(state waiting_state,
                                       sim::time_us timeout) {
-    state_ = waiting_state;
-    const std::uint64_t generation = ++timer_generation_;
+    hot_->state = waiting_state;
+    const std::uint64_t generation = ++hot_->timer_generation;
     sim_.schedule_in(timeout, [this, generation] {
-        if (generation != timer_generation_) return;
-        if (state_ == state::awaiting_cts || state_ == state::awaiting_ack) {
+        if (generation != hot_->timer_generation) return;
+        if (hot_->state == state::awaiting_cts || hot_->state == state::awaiting_ack) {
             note_unicast_outcome(false);
             retry_packet();
         }
@@ -328,39 +329,39 @@ double dcf_node::cs_threshold_dbm() const {
 
 void dcf_node::set_cs_threshold_dbm(double threshold_dbm) {
     cs_threshold_override_dbm_ = threshold_dbm;
-    apply_energy_busy(last_external_power_dbm_ >= threshold_dbm);
+    apply_energy_busy(hot_->last_external_power_dbm >= threshold_dbm);
 }
 
 sim::time_us dcf_node::energy_busy_time_us() const {
-    return busy_accum_us_ + (energy_busy_ ? sim_.now() - busy_since_ : 0.0);
+    return hot_->busy_accum_us + (hot_->energy_busy ? sim_.now() - hot_->busy_since : 0.0);
 }
 
 double dcf_node::external_power_integral_mw_us() const {
     if (!config_.adapt.enabled()) return power_integral_mw_us_;  // stays 0
     return power_integral_mw_us_ +
-           propagation::dbm_to_mw(last_external_power_dbm_) *
+           propagation::dbm_to_mw(hot_->last_external_power_dbm) *
                (sim_.now() - power_integral_mark_us_);
 }
 
 void dcf_node::account_external_power(double external_power_dbm) {
     const sim::time_us now = sim_.now();
     power_integral_mw_us_ +=
-        propagation::dbm_to_mw(last_external_power_dbm_) *
+        propagation::dbm_to_mw(hot_->last_external_power_dbm) *
         (now - power_integral_mark_us_);
     power_integral_mark_us_ = now;
-    last_external_power_dbm_ = external_power_dbm;
+    hot_->last_external_power_dbm = external_power_dbm;
 }
 
 void dcf_node::apply_energy_busy(bool busy) {
-    if (busy == energy_busy_) return;
+    if (busy == hot_->energy_busy) return;
     const sim::time_us now = sim_.now();
     if (busy) {
-        busy_since_ = now;
+        hot_->busy_since = now;
     } else {
-        busy_accum_us_ += now - busy_since_;
+        hot_->busy_accum_us += now - hot_->busy_since;
     }
-    energy_busy_ = busy;
-    if (busy && state_ == state::contending && difs_done_) {
+    hot_->energy_busy = busy;
+    if (busy && hot_->state == state::contending && hot_->difs_done) {
         ++stats_.defer_events;
     }
     reevaluate();
@@ -373,7 +374,7 @@ void dcf_node::on_channel_update(double external_power_dbm) {
     if (config_.adapt.enabled()) {
         account_external_power(external_power_dbm);
     } else {
-        last_external_power_dbm_ = external_power_dbm;
+        hot_->last_external_power_dbm = external_power_dbm;
     }
     apply_energy_busy(external_power_dbm >= cs_threshold_dbm());
 }
@@ -382,9 +383,9 @@ void dcf_node::on_preamble(const frame&, double, sim::time_us until) {
     const bool preamble_mode = config_.sense == cs_mode::preamble ||
                                config_.sense == cs_mode::energy_and_preamble;
     if (!preamble_mode) return;  // this radio's CCA ignores preambles
-    if (until > preamble_busy_until_) {
-        preamble_busy_until_ = until;
-        if (state_ == state::contending && difs_done_) ++stats_.defer_events;
+    if (until > hot_->preamble_busy_until) {
+        hot_->preamble_busy_until = until;
+        if (hot_->state == state::contending && hot_->difs_done) ++stats_.defer_events;
         reevaluate();
         // Wake up when the frame ends to resume contention; reevaluate is
         // idempotent, so an unconditional wake-up is safe.
@@ -423,31 +424,31 @@ void dcf_node::on_frame_received(const frame& f, double, double,
                             ofdm_timing::sifs_us),
                     &node_stats::cts_sent);
             } else if (!for_me && sense_enabled()) {
-                nav_until_ = std::max(nav_until_, sim_.now() + f.nav_duration_us);
+                hot_->nav_until = std::max(hot_->nav_until, sim_.now() + f.nav_duration_us);
                 reevaluate();
-                sim_.schedule_at(nav_until_, [this] { reevaluate(); });
+                sim_.schedule_at(hot_->nav_until, [this] { reevaluate(); });
             }
             break;
         case frame_kind::cts:
-            if (for_me && state_ == state::awaiting_cts) {
+            if (for_me && hot_->state == state::awaiting_cts) {
                 // Protected: send the data frame after SIFS.
-                ++timer_generation_;  // cancel the CTS timeout
-                state_ = state::responding;
+                ++hot_->timer_generation;  // cancel the CTS timeout
+                hot_->state = state::responding;
                 sim_.schedule_in(ofdm_timing::sifs_us, [this] {
-                    if (state_ == state::responding &&
+                    if (hot_->state == state::responding &&
                         !medium_.transmitting(id_)) {
                         transmit_frame(make_data_frame());
                     }
                 });
             } else if (!for_me && sense_enabled()) {
-                nav_until_ = std::max(nav_until_, sim_.now() + f.nav_duration_us);
+                hot_->nav_until = std::max(hot_->nav_until, sim_.now() + f.nav_duration_us);
                 reevaluate();
-                sim_.schedule_at(nav_until_, [this] { reevaluate(); });
+                sim_.schedule_at(hot_->nav_until, [this] { reevaluate(); });
             }
             break;
         case frame_kind::ack:
-            if (for_me && state_ == state::awaiting_ack) {
-                ++timer_generation_;  // cancel the ACK timeout
+            if (for_me && hot_->state == state::awaiting_ack) {
+                ++hot_->timer_generation;  // cancel the ACK timeout
                 ++stats_.data_acked;
                 note_unicast_outcome(true);
                 packet_done(true);
@@ -483,8 +484,8 @@ void dcf_node::on_tx_complete(const frame& f) {
         case frame_kind::cts:
         case frame_kind::ack:
             // Response sent; resume our own contention if any.
-            if (state_ == state::contending && have_packet_) {
-                difs_done_ = false;
+            if (hot_->state == state::contending && hot_->have_packet) {
+                hot_->difs_done = false;
                 reevaluate();
             }
             break;

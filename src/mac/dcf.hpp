@@ -14,6 +14,7 @@
 
 #include "src/capacity/rate_adaptation.hpp"
 #include "src/mac/medium.hpp"
+#include "src/mac/node_state.hpp"
 #include "src/mac/traffic.hpp"
 #include "src/mac/wireless_config.hpp"
 #include "src/stats/quantile.hpp"
@@ -49,9 +50,12 @@ struct node_stats {
 /// One DCF station.
 class dcf_node final : public medium_listener {
 public:
-    /// Creates the node and registers it with the medium.
+    /// Creates the node and registers it with the medium. `hot` points
+    /// this node's per-event state at a pool-owned cache-line block
+    /// (see node_state_pool); when null the node carries its own block,
+    /// so standalone construction keeps working.
     dcf_node(sim::simulator& sim, medium& med, mac_config config,
-             std::uint64_t seed);
+             std::uint64_t seed, dcf_hot_state* hot = nullptr);
 
     /// Cancels any pending arrival event (the owning network's simulator
     /// outlives its nodes, so teardown mid-run is safe).
@@ -129,14 +133,9 @@ public:
     void on_tx_complete(const frame& f) override;
 
 private:
-    enum class state {
-        idle,          ///< no packet (traffic_mode::none)
-        contending,    ///< waiting for DIFS + backoff
-        transmitting,  ///< own frame on the air
-        awaiting_cts,
-        awaiting_ack,
-        responding,    ///< SIFS gap before CTS/ACK/data-after-CTS
-    };
+    /// FSM states live in node_state.hpp (the hot block stores one);
+    /// the alias keeps every `state::...` reference below unchanged.
+    using state = dcf_state;
 
     bool sense_enabled() const noexcept;
     bool channel_busy() const;
@@ -189,29 +188,20 @@ private:
     std::optional<sim::event_id> arrival_event_;
     stats::streaming_quantiles sojourn_;
 
-    // Channel state.
-    bool energy_busy_ = false;
-    sim::time_us preamble_busy_until_ = 0.0;
-    sim::time_us nav_until_ = 0.0;
+    // Per-event hot state (channel sense + contention + timer
+    // generation) lives in one cache-line block, pool-backed when the
+    // network provides one; everything below hot_ is cold (touched per
+    // packet or per epoch, not per event).
+    dcf_hot_state* hot_;
+    dcf_hot_state own_hot_;  ///< fallback storage for pool-less nodes
 
     // Adaptive carrier sense: per-node threshold override plus the
-    // busy-time and sensed-power accounting the controllers consume.
+    // sensed-power accounting the controllers consume (epoch-rate).
     std::optional<double> cs_threshold_override_dbm_;
-    double last_external_power_dbm_ = -200.0;  ///< set to the noise floor
-                                               ///< at construction
-    sim::time_us busy_since_ = 0.0;
-    sim::time_us busy_accum_us_ = 0.0;
     double power_integral_mw_us_ = 0.0;
     sim::time_us power_integral_mark_us_ = 0.0;
 
-    // Contention state.
-    state state_ = state::idle;
-    bool have_packet_ = false;
-    int slots_left_ = 0;
-    int cw_ = 15;
-    int retries_ = 0;
-    bool difs_done_ = false;
-    std::uint64_t timer_generation_ = 0;
+    // Per-packet cold state.
     std::uint64_t frame_sequence_ = 0;
     const capacity::phy_rate* packet_rate_ = nullptr;
 

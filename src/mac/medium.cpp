@@ -529,13 +529,10 @@ void medium::end_transmission(std::size_t tx_index) {
     active_tx_by_node_[src] = -1;
     --active_count_;
 
-    struct delivery {
-        node_id rx;
-        double power_dbm;
-        double sinr;
-        bool decoded;
-    };
-    std::vector<delivery> deliveries;
+    // end_transmission only runs from a scheduled event, never nested,
+    // so the member scratch is free here.
+    std::vector<delivery>& deliveries = delivery_scratch_;
+    deliveries.clear();
 
     if (culled_) {
         // Swap-erase: active order only feeds the exact refresh, whose

@@ -33,7 +33,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -216,6 +215,17 @@ private:
     std::vector<stats::kahan_sum> ext_mw_;
     std::vector<std::uint32_t> audible_count_;
     int ends_since_refresh_ = 0;
+    /// One settled reception, staged so delivery callbacks run after
+    /// all lock bookkeeping (they may re-enter start_transmission).
+    struct delivery {
+        node_id rx;
+        double power_dbm;
+        double sinr;
+        bool decoded;
+    };
+    /// Reused by end_transmission: capacity reaches its high-water mark
+    /// once, then the per-event hot path allocates nothing.
+    std::vector<delivery> delivery_scratch_;
     // Thresholds precomputed in mW so hot loops compare linearly.
     double noise_mw_ = 0.0;
     double preamble_threshold_mw_ = 0.0;

@@ -16,7 +16,7 @@ node_id network::add_node(const mac_config& config) {
     if (started_) throw std::logic_error("network::add_node: already running");
     auto node = std::make_unique<dcf_node>(
         sim_, *medium_, config,
-        seed_ + 0x9e3779b9u * (nodes_.size() + 1));
+        seed_ + 0x9e3779b9u * (nodes_.size() + 1), hot_states_.allocate());
     nodes_.push_back(std::move(node));
     return nodes_.back()->id();
 }
@@ -32,6 +32,23 @@ void network::set_link_gain_db(node_id a, node_id b, double gain_db) {
 
 void network::run(sim::time_us duration_us) {
     if (!started_) {
+        // Pick the queue backend for the network's scale before the
+        // first event exists (reconfigure refuses once events are in
+        // flight, e.g. when a test pre-schedules by hand - the default
+        // then stands). Both backends pop in identical order, so this
+        // is a pure wall-clock choice: a binary heap is near-optimal
+        // for the handful of pending events a one- or two-pair run
+        // keeps, while the calendar wheel's O(1) arm/cancel wins once
+        // hundreds of nodes hold standing timers. The CSENSE_QUEUE_BACKEND
+        // override pins every queue in the process for A/B timing.
+        sim::event_queue_config queue_config = sim::default_queue_config();
+        if (!sim::forced_queue_backend()) {
+            constexpr std::size_t kDenseNodeThreshold = 256;
+            queue_config.backend = nodes_.size() >= kDenseNodeThreshold
+                                       ? sim::queue_backend::calendar
+                                       : sim::queue_backend::heap;
+        }
+        sim_.reconfigure_queue(queue_config);
         for (auto& node : nodes_) node->start();
         started_ = true;
     }

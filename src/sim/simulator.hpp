@@ -10,14 +10,37 @@ namespace csense::sim {
 /// Discrete-event simulator kernel.
 class simulator {
 public:
+    simulator() = default;
+
+    /// Construct with an explicit queue configuration (backend
+    /// selection / wheel tuning); both backends produce identical
+    /// event order.
+    explicit simulator(const event_queue_config& config) : queue_(config) {}
+
+    /// Re-select the queue backend before the first event is scheduled;
+    /// no-op (returns false) once events are in flight. Owners that
+    /// learn their scale late use this: a binary heap is near-optimal
+    /// for a handful of pending events, the calendar wheel wins once
+    /// thousands of timers stand concurrently.
+    bool reconfigure_queue(const event_queue_config& config) {
+        return queue_.reconfigure(config);
+    }
+
+    /// The queue backend in use (A/B introspection).
+    queue_backend queue_backend_kind() const noexcept {
+        return queue_.backend();
+    }
+
     /// Current simulation time (us).
     time_us now() const noexcept { return now_; }
 
     /// Schedule an action `delay` microseconds from now (delay >= 0).
-    event_id schedule_in(time_us delay, std::function<void()> action);
+    /// Actions are allocation-free inline_actions: captures must fit the
+    /// 64-byte buffer (compile-time checked).
+    event_id schedule_in(time_us delay, inline_action action);
 
     /// Schedule an action at an absolute time (>= now).
-    event_id schedule_at(time_us at, std::function<void()> action);
+    event_id schedule_at(time_us at, inline_action action);
 
     /// Cancel a pending event.
     bool cancel(event_id id) { return queue_.cancel(id); }

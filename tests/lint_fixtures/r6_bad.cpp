@@ -1,0 +1,18 @@
+// R6 corpus: std::function reaching the simulator hot path. Linted
+// under a src/mac/ (and src/sim/) path label by test_lint.
+#include <functional>
+
+namespace csense::mac {
+
+struct scheduler_shim {
+    // A member boxing the event action: allocates per schedule.
+    std::function<void()> pending_action;  // line 9: R6
+
+    void arm(std::function<void()> action) {  // line 11: R6
+        pending_action = action;
+    }
+};
+
+using timer_callback = std::function<void(double)>;  // line 16: R6
+
+}  // namespace csense::mac

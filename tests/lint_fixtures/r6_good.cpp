@@ -1,0 +1,22 @@
+// R6 corpus, clean side: inline_action captures, near-miss
+// identifiers, and the justified-pragma escape hatch.
+
+namespace csense::mac {
+
+struct inline_action_like {
+    void operator()() {}
+};
+
+struct node {
+    inline_action_like wake;  // fixed-size capture: fine
+
+    // Identifiers merely containing "function" are not the std one.
+    int function_count = 0;
+    void transfer_function() {}
+
+    // The approved shim: explicit type erasure, justified in place.
+    // csense-lint: allow(std-function-hot-path) -- fixture exercising the R6 escape hatch for unbounded captures
+    std::function<void()> escape_hatch;
+};
+
+}  // namespace csense::mac

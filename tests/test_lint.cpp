@@ -77,11 +77,13 @@ TEST(LintLexer, RawStringsAreOpaque) {
 
 TEST(LintRules, CatalogIsStable) {
     const auto& rules = csense::lint::rules();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 7u);
     EXPECT_EQ(rules[0].id, "R1");
     EXPECT_EQ(rules[0].name, "nondeterminism-source");
     EXPECT_EQ(rules[4].id, "R5");
-    EXPECT_EQ(rules[5].id, "LP");
+    EXPECT_EQ(rules[5].id, "R6");
+    EXPECT_EQ(rules[5].name, "std-function-hot-path");
+    EXPECT_EQ(rules[6].id, "LP");
     const std::string table = csense::lint::list_rules_markdown();
     EXPECT_NE(table.find("| Id | Pragma name | Enforces |"),
               std::string::npos);
@@ -216,6 +218,29 @@ TEST(LintR5, RegisteredSingletonFilesAreExempt) {
 TEST(LintR5, ImmutableAndFunctionStaticsAreClean) {
     const auto vs =
         lint_source("src/core/r5_good.cpp", read_fixture("r5_good.cpp"));
+    EXPECT_EQ(fired(vs), pairs{});
+}
+
+TEST(LintR6, FiresOnStdFunctionInMacAndSim) {
+    const auto content = read_fixture("r6_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/mac/r6_bad.cpp", content)),
+              (pairs{{"R6", 9}, {"R6", 11}, {"R6", 16}}));
+    EXPECT_EQ(fired(lint_source("src/sim/r6_bad.cpp", content)),
+              (pairs{{"R6", 9}, {"R6", 11}, {"R6", 16}}));
+}
+
+TEST(LintR6, CampaignLayerAndColdPathsAreExempt) {
+    const auto content = read_fixture("r6_bad.cpp");
+    EXPECT_EQ(fired(lint_source("src/sim/campaign.cpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("src/sim/campaign.hpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("src/core/parallel.hpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("src/stats/solve.cpp", content)), pairs{});
+    EXPECT_EQ(fired(lint_source("bench/r6_bad.cpp", content)), pairs{});
+}
+
+TEST(LintR6, InlineActionCapturesAndPragmaAreClean) {
+    const auto vs = lint_source("src/mac/r6_good.cpp",
+                                read_fixture("r6_good.cpp"));
     EXPECT_EQ(fired(vs), pairs{});
 }
 

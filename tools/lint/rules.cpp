@@ -40,6 +40,14 @@ const std::vector<rule_info>& catalog() {
          "registered singletons (thread pool in `src/core/parallel.cpp`, "
          "quadrature rule cache in `src/stats/quadrature.cpp`, scenario "
          "registry in `bench/registry.cpp`)."},
+        {"R6", "std-function-hot-path",
+         "No `std::function` in the simulator event hot path (`src/mac/`, "
+         "`src/sim/`, excluding the campaign orchestration layer "
+         "`src/sim/campaign.*`); event closures use the fixed-size "
+         "`sim::inline_action` (src/sim/inline_action.hpp), and a call "
+         "site that genuinely needs unbounded type erasure passes a "
+         "`std::function` into it explicitly under a justified "
+         "allow-pragma."},
         {"LP", "lint-pragma",
          "Every `csense-lint: allow(...)` pragma must name a known rule, "
          "carry a non-empty justification, and actually suppress a "
@@ -691,6 +699,36 @@ void scan_r5(std::string_view path, const tokens_t& toks,
     }
 }
 
+// ---------------------------------------------------------------------------
+// R6 — std::function in the simulator event hot path
+
+void scan_r6(std::string_view path, const tokens_t& toks,
+             std::vector<violation>* out) {
+    // Hot-path scope: the MAC layer and the simulation kernel. The
+    // campaign layer orchestrates whole runs (one closure per unit, not
+    // per event), so type erasure is fine there.
+    if (!path_contains_dir(path, "src/mac") &&
+        !path_contains_dir(path, "src/sim")) {
+        return;
+    }
+    if (path_ends_with(path, "src/sim/campaign.cpp") ||
+        path_ends_with(path, "src/sim/campaign.hpp")) {
+        return;
+    }
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (is_ident(toks[i], "function") && is_punct(toks[i - 1], "::") &&
+            is_ident(toks[i - 2], "std")) {
+            out->push_back(
+                {std::string(path), toks[i].line, "R6",
+                 "std::function in the simulator hot path: a type-erased "
+                 "closure heap-allocates per schedule and breaks the "
+                 "allocation-free event contract; capture into "
+                 "sim::inline_action (src/sim/inline_action.hpp) instead, "
+                 "or justify the type erasure with an allow-pragma"});
+        }
+    }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -728,6 +766,7 @@ std::vector<violation> lint_source(std::string_view path,
     scan_r3(path, toks, tables, &raw);
     scan_r4(path, toks, tables, &raw);
     scan_r5(path, toks, &raw);
+    scan_r6(path, toks, &raw);
 
     std::vector<pragma> pragmas;
     std::vector<violation> out;

@@ -13,6 +13,9 @@
 //                              stats::kahan_sum
 //   R5 mutable-static          mutable file-scope/static state outside
 //                              the registered singletons
+//   R6 std-function-hot-path   std::function in the simulator event
+//                              hot path (src/mac/, src/sim/) outside
+//                              the campaign orchestration layer
 //   LP lint-pragma             malformed allow-pragmas (unknown rule,
 //                              missing justification)
 //
@@ -34,7 +37,7 @@ namespace csense::lint {
 struct violation {
     std::string file;     ///< path label as passed to lint_source
     int line = 0;         ///< 1-based
-    std::string rule;     ///< "R1".."R5", "LP"
+    std::string rule;     ///< "R1".."R6", "LP"
     std::string message;
 };
 
